@@ -1,0 +1,302 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation section, plus micro-benchmarks for every
+// substrate. Each experiment benchmark reports the headline figures of
+// merit via b.ReportMetric, so `go test -bench=. -benchmem` regenerates
+// the paper's results on the miniature suite; run `cmd/paper -scale
+// paper` for the full-size designs (documented in EXPERIMENTS.md).
+package vpga
+
+import (
+	"testing"
+
+	"vpga/internal/aig"
+	"vpga/internal/bench"
+	"vpga/internal/cells"
+	"vpga/internal/compact"
+	"vpga/internal/core"
+	"vpga/internal/flowmap"
+	"vpga/internal/logic"
+	"vpga/internal/place"
+	"vpga/internal/route"
+	"vpga/internal/rtl"
+	"vpga/internal/sta"
+	"vpga/internal/techmap"
+)
+
+// BenchmarkFig2FunctionClassification regenerates the Section 2.1 /
+// Figure 2 analysis: the 256-function S3-feasibility classification.
+func BenchmarkFig2FunctionClassification(b *testing.B) {
+	var rep logic.Fig2Report
+	for i := 0; i < b.N; i++ {
+		rep = logic.AnalyzeFig2()
+	}
+	b.ReportMetric(float64(rep.PerSelectFeasible[0]), "S3-fixed-select-feasible")
+	b.ReportMetric(float64(rep.Feasible), "S3-feasible")
+	b.ReportMetric(float64(256-rep.Feasible), "S3-infeasible")
+}
+
+// BenchmarkFig3ModifiedS3Completeness checks the Figure 3 claim that
+// the modified S3 cell implements all 256 3-input functions.
+func BenchmarkFig3ModifiedS3Completeness(b *testing.B) {
+	complete := false
+	for i := 0; i < b.N; i++ {
+		complete = logic.ModifiedS3Complete()
+	}
+	if !complete {
+		b.Fatal("modified S3 incomplete")
+	}
+	b.ReportMetric(256, "functions-implemented")
+}
+
+// matrixOnce runs the Table 1/2 experiment once per benchmark
+// iteration on the miniature suite.
+func matrixOnce(b *testing.B) *core.Matrix {
+	b.Helper()
+	var m *core.Matrix
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = core.RunMatrix(bench.TestSuite(), core.MatrixOptions{Seed: 1, PlaceEffort: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkTable1DieArea regenerates Table 1 (die area, 4 designs × 2
+// architectures × 2 flows) and reports the paper's headline claim: the
+// average die-area reduction of the granular PLB on datapath designs.
+func BenchmarkTable1DieArea(b *testing.B) {
+	m := matrixOnce(b)
+	claims := m.DeriveClaims()
+	b.Logf("\n%s", m.Table1())
+	b.ReportMetric(100*claims.AvgDatapathDieReduction, "%datapath-die-reduction(paper~32)")
+	b.ReportMetric(100*claims.MaxDatapathDieReduction, "%max-die-reduction(paper~40)")
+	b.ReportMetric(claims.FirewireAreaRatio, "firewire-area-ratio(paper>1)")
+}
+
+// BenchmarkTable2Slack regenerates Table 2 (average slack over the
+// top-10 critical paths) and reports the slack-improvement claims.
+func BenchmarkTable2Slack(b *testing.B) {
+	m := matrixOnce(b)
+	claims := m.DeriveClaims()
+	b.Logf("\n%s", m.Table2())
+	b.ReportMetric(100*claims.AvgSlackImprovement, "%slack-improvement(paper~18)")
+	b.ReportMetric(100*claims.AvgPerfDegradationReduction, "%degradation-reduction(paper~68)")
+}
+
+// BenchmarkCompactionAreaReduction measures the regularity-driven
+// compaction step (experiment E4; the paper reports ~15% average gate
+// -area reduction on its DC-mapped netlists).
+func BenchmarkCompactionAreaReduction(b *testing.B) {
+	suite := bench.TestSuite()
+	total := 0.0
+	n := 0
+	for i := 0; i < b.N; i++ {
+		total, n = 0, 0
+		for _, d := range suite.All() {
+			for _, arch := range []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()} {
+				rep, err := core.RunFlow(d, core.Config{Arch: arch, Flow: core.FlowA, Seed: 1, PlaceEffort: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rep.CompactionReduction
+				n++
+			}
+		}
+	}
+	b.ReportMetric(100*total/float64(n), "%area-reduction(paper~15)")
+}
+
+// BenchmarkFullAdderPacking exercises experiment E3: full adders
+// extracted and packed one-per-PLB on the granular architecture.
+func BenchmarkFullAdderPacking(b *testing.B) {
+	d := bench.ALU(8)
+	fas := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunFlow(d, core.Config{Arch: cells.GranularPLB(), Flow: core.FlowB, Seed: 2, PlaceEffort: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fas = rep.FullAdders
+	}
+	b.ReportMetric(float64(fas), "full-adders")
+}
+
+// BenchmarkGranularitySweep runs the E8 architecture sweep.
+func BenchmarkGranularitySweep(b *testing.B) {
+	d := bench.ALU(8)
+	var pts []core.SweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = core.GranularitySweep(d, core.DefaultSweepArchs(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best, bestSlack := "", -1e18
+	for _, p := range pts {
+		if p.AvgTopSlack > bestSlack {
+			best, bestSlack = p.Arch, p.AvgTopSlack
+		}
+	}
+	b.Logf("best-performing architecture: %s (avg slack %.1f)", best, bestSlack)
+	b.ReportMetric(float64(len(pts)), "architectures")
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkRTLElaborate(b *testing.B) {
+	src := bench.ALU(16).RTL
+	for i := 0; i < b.N; i++ {
+		if _, err := rtl.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDesign(b *testing.B) *aig.Design {
+	b.Helper()
+	nl, err := rtl.Compile(bench.ALU(16).RTL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := aig.FromNetlist(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkAIGOptimize(b *testing.B) {
+	d := benchDesign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := &aig.Design{G: d.G, PINames: d.PINames, PONames: d.PONames, FFNames: d.FFNames}
+		cp.Optimize(3)
+	}
+}
+
+func BenchmarkTechnologyMapping(b *testing.B) {
+	d := benchDesign(b)
+	d.Optimize(3)
+	arch := cells.GranularPLB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := techmap.Map(d, arch, techmap.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompaction(b *testing.B) {
+	d := benchDesign(b)
+	d.Optimize(3)
+	arch := cells.GranularPLB()
+	mapped, err := techmap.Map(d, arch, techmap.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compact.Run(mapped.Netlist, arch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func placedProblem(b *testing.B) (*place.Problem, *cells.PLBArch, *aig.Design) {
+	b.Helper()
+	d := benchDesign(b)
+	d.Optimize(3)
+	arch := cells.GranularPLB()
+	mapped, err := techmap.Map(d, arch, techmap.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cres, err := compact.Run(mapped.Netlist, arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob, err := place.Build(cres.Netlist, place.ArchArea(arch), place.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob, arch, d
+}
+
+func BenchmarkPlacementAnneal(b *testing.B) {
+	prob, _, _ := placedProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prob.Anneal(place.Options{Seed: int64(i), MovesPerObj: 4})
+	}
+}
+
+func BenchmarkGlobalRouting(b *testing.B) {
+	prob, _, _ := placedProblem(b)
+	prob.Anneal(place.Options{Seed: 1, MovesPerObj: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.Route(prob, route.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTA(b *testing.B) {
+	d := benchDesign(b)
+	d.Optimize(3)
+	arch := cells.GranularPLB()
+	mapped, err := techmap.Map(d, arch, techmap.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cres, err := compact.Run(mapped.Netlist, arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sta.Analyze(cres.Netlist, arch, nil, nil, sta.Options{ClockPeriod: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxFlowKCut(b *testing.B) {
+	// Dinic-based 3-feasible cut search over a mid-size cone.
+	const n = 400
+	fanins := func(i int) []int {
+		if i < 8 {
+			return nil
+		}
+		return []int{i % 8, i - 3, i - 7}
+	}
+	isLeaf := func(i int) bool { return i < 8 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flowmap.FindKCut(n-1, 3, 64, fanins, isLeaf)
+	}
+}
+
+func BenchmarkNPNCanon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logic.NPNCanon(logic.NewTT(3, uint64(i)&255))
+	}
+}
+
+// BenchmarkRoutingArchitectureSweep runs the Sec. 4 routing-resource
+// exploration: overflow and timing versus per-channel track capacity.
+func BenchmarkRoutingArchitectureSweep(b *testing.B) {
+	var pts []core.RoutingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = core.RoutingSweep(bench.ALU(8), cells.GranularPLB(), []int{4, 8, 16, 32}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pts[0].Overflow), "overflow-at-4-tracks")
+	b.ReportMetric(float64(pts[len(pts)-1].Overflow), "overflow-at-32-tracks")
+}

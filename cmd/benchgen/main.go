@@ -1,0 +1,44 @@
+// Command benchgen emits the RTL of a benchmark design to stdout, for
+// inspection or for feeding back through `vpgaflow -rtl`.
+//
+// Usage:
+//
+//	benchgen -design alu -width 16
+//	benchgen -design fpu -mantissa 24
+//	benchgen -design switch -ports 12 -width 32 -depth 4
+//	benchgen -design firewire -regs 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vpga/internal/bench"
+)
+
+func main() {
+	design := flag.String("design", "alu", "alu, firewire, fpu or switch")
+	width := flag.Int("width", 16, "data width (alu, switch)")
+	mantissa := flag.Int("mantissa", 24, "mantissa bits (fpu)")
+	ports := flag.Int("ports", 12, "port count (switch)")
+	depth := flag.Int("depth", 4, "FIFO depth (switch)")
+	regs := flag.Int("regs", 40, "register count (firewire)")
+	flag.Parse()
+
+	var d bench.Design
+	switch *design {
+	case "alu":
+		d = bench.ALU(*width)
+	case "fpu":
+		d = bench.FPU(*mantissa)
+	case "switch":
+		d = bench.Switch(*ports, *width, *depth)
+	case "firewire":
+		d = bench.Firewire(*regs)
+	default:
+		fmt.Fprintf(os.Stderr, "benchgen: unknown design %q\n", *design)
+		os.Exit(1)
+	}
+	fmt.Print(d.RTL)
+}

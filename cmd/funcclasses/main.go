@@ -1,0 +1,39 @@
+// Command funcclasses reproduces the Section 2.1 / Figure 2 analysis:
+// it classifies all 256 3-input Boolean functions by S3-gate
+// feasibility and verifies the modified-S3 completeness claim.
+//
+// Usage:
+//
+//	funcclasses [-list]
+//
+// With -list, every globally S3-infeasible function is printed with
+// its Figure 2 category.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"vpga/internal/core"
+	"vpga/internal/logic"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list every S3-infeasible function with its category")
+	flag.Parse()
+
+	fmt.Print(core.Fig2Text())
+	if !*list {
+		return
+	}
+	fmt.Println("\nGlobally S3-infeasible functions:")
+	for bits := uint64(0); bits < 256; bits++ {
+		f := logic.NewTT(3, bits)
+		if logic.S3Feasible(f) {
+			continue
+		}
+		cfg, ok := logic.ModifiedS3Implements(f)
+		fmt.Printf("  %v  %-45s modified-S3: select=x%d invPath=%v ok=%v\n",
+			f, logic.ClassifyFunction(f), cfg.Select, cfg.ND2FromInv, ok)
+	}
+}

@@ -1,0 +1,151 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	-fig2       Section 2.1 / Figure 2 function classification
+//	-table 1    Table 1 (die-area comparison)
+//	-table 2    Table 2 (top-10 path-slack comparison)
+//	-claims     the derived Section 3.2 statistics
+//	-compaction the ~15% compaction ablation (E4)
+//	-sweep      the granularity sweep (E8)
+//	-all        everything above
+//
+// Scale: -scale test (fast miniatures) or -scale paper (gate counts
+// approximating the published designs; minutes of runtime).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vpga/internal/bench"
+	"vpga/internal/cells"
+	"vpga/internal/core"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table 1 or 2")
+	fig2 := flag.Bool("fig2", false, "regenerate the Figure 2 analysis")
+	claims := flag.Bool("claims", false, "derive the Section 3.2 statistics")
+	compaction := flag.Bool("compaction", false, "run the compaction ablation (E4)")
+	sweep := flag.Bool("sweep", false, "run the granularity sweep (E8)")
+	domains := flag.Bool("domains", false, "run the application-domain exploration (Sec. 4 future work)")
+	routing := flag.Bool("routing", false, "run the routing-architecture sweep (Sec. 4 future work)")
+	all := flag.Bool("all", false, "run everything")
+	scale := flag.String("scale", "test", "benchmark scale: test or paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	seeds := flag.Int("seeds", 0, "run the claims over N seeds and report mean/min/max (stability study)")
+	effort := flag.Int("effort", 0, "placement effort (0 = default)")
+	flag.Parse()
+
+	if *all {
+		*fig2, *claims, *compaction, *sweep, *domains, *routing = true, true, true, true, true, true
+		*table = 3 // both
+	}
+	if !*fig2 && !*claims && !*compaction && !*sweep && !*domains && !*routing && *seeds == 0 && *table == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	suite := bench.TestSuite()
+	if *scale == "paper" {
+		suite = bench.PaperSuite()
+	}
+
+	if *fig2 {
+		fmt.Println(core.Fig2Text())
+	}
+
+	if *seeds > 0 {
+		var list []int64
+		for i := 0; i < *seeds; i++ {
+			list = append(list, *seed+int64(i))
+		}
+		st, err := core.StabilityStudy(suite, list, *effort,
+			func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(st)
+	}
+
+	var matrix *core.Matrix
+	needMatrix := *claims || *table != 0
+	if needMatrix {
+		start := time.Now()
+		var err error
+		matrix, err = core.RunMatrix(suite, core.MatrixOptions{
+			Seed: *seed, PlaceEffort: *effort,
+			Progress: func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "matrix completed in %s\n\n", time.Since(start).Round(time.Second))
+	}
+	if *table == 1 || *table == 3 {
+		fmt.Println(matrix.Table1())
+	}
+	if *table == 2 || *table == 3 {
+		fmt.Println(matrix.Table2())
+	}
+	if *claims {
+		fmt.Println(matrix.DeriveClaims())
+	}
+
+	if *compaction {
+		fmt.Println("Compaction ablation (E4): gate-area reduction by design and architecture")
+		for _, d := range suite.All() {
+			for _, arch := range []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()} {
+				rep, err := core.RunFlow(d, core.Config{Arch: arch, Flow: core.FlowA, Seed: *seed, PlaceEffort: *effort})
+				if err != nil {
+					fatalf("%v", err)
+				}
+				fmt.Printf("  %-14s %-13s %6.1f%% reduction (gates %.0f, FA macros %d)\n",
+					d.Name, arch.Name, 100*rep.CompactionReduction, rep.GateCount, rep.FullAdders)
+			}
+		}
+		fmt.Println("  (paper reports ~15% average for its DC-mapped netlists)")
+		fmt.Println()
+	}
+
+	if *domains {
+		fir := bench.FIR(8, 8)
+		if *scale == "paper" {
+			fir = bench.FIR(32, 16)
+		}
+		results, err := core.DomainExplore(
+			[]bench.Design{suite.ALU, suite.Firewire, fir},
+			core.DefaultSweepArchs(), *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(core.FormatDomains(results))
+	}
+
+	if *routing {
+		pts, err := core.RoutingSweep(suite.ALU, cells.GranularPLB(), []int{4, 8, 16, 32, 64}, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(core.FormatRoutingSweep(suite.ALU.Name, pts))
+	}
+
+	if *sweep {
+		fmt.Println("Granularity sweep (E8): ALU across PLB architectures")
+		pts, err := core.GranularitySweep(suite.ALU, core.DefaultSweepArchs(), *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("  %-14s %-36s %8s %10s %10s\n", "arch", "slots", "PLB area", "die area", "avg slack")
+		for _, p := range pts {
+			fmt.Printf("  %-14s %-36s %8.1f %10.0f %10.1f\n", p.Arch, p.Slots, p.PLBArea, p.DieArea, p.AvgTopSlack)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "paper: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Command vpgaflow runs one design through the complete VPGA
+// implementation flow and prints the resulting report.
+//
+// Usage:
+//
+//	vpgaflow -design alu|firewire|fpu|switch -arch granular|lut -flow a|b
+//	         [-scale test|paper] [-seed N] [-effort N] [-clock PS]
+//	         [-verify] [-skip-compaction]
+//	vpgaflow -rtl file.v -arch granular -flow b     # custom RTL input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vpga/internal/bench"
+	"vpga/internal/cells"
+	"vpga/internal/core"
+)
+
+func main() {
+	design := flag.String("design", "alu", "benchmark: alu, firewire, fpu, switch")
+	rtlFile := flag.String("rtl", "", "compile this RTL file instead of a benchmark")
+	archName := flag.String("arch", "granular", "PLB architecture: granular or lut")
+	flowName := flag.String("flow", "b", "flow a (ASIC, no packing) or b (full PLB array)")
+	scale := flag.String("scale", "test", "benchmark scale: test or paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	effort := flag.Int("effort", 6, "placement effort (moves per object per temperature)")
+	clock := flag.Float64("clock", 0, "clock period in ps (0 = auto: 1.2x pre-layout arrival)")
+	verify := flag.Bool("verify", false, "check implementation equivalence by random simulation")
+	skipCompact := flag.Bool("skip-compaction", false, "disable regularity-driven compaction (ablation)")
+	floorplan := flag.String("floorplan", "", "write the packed-array floorplan (flow b) to this file ('-' for stdout)")
+	netlistOut := flag.String("netlist", "", "write the implementation as structural Verilog to this file")
+	flag.Parse()
+
+	var arch *cells.PLBArch
+	switch *archName {
+	case "granular":
+		arch = cells.GranularPLB()
+	case "lut":
+		arch = cells.LUTPLB()
+	default:
+		fatalf("unknown arch %q (want granular or lut)", *archName)
+	}
+	var flow core.FlowKind
+	switch *flowName {
+	case "a":
+		flow = core.FlowA
+	case "b":
+		flow = core.FlowB
+	default:
+		fatalf("unknown flow %q (want a or b)", *flowName)
+	}
+
+	var d bench.Design
+	if *rtlFile != "" {
+		src, err := os.ReadFile(*rtlFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		d = bench.Design{Name: *rtlFile, RTL: string(src)}
+	} else {
+		suite := bench.TestSuite()
+		if *scale == "paper" {
+			suite = bench.PaperSuite()
+		}
+		switch *design {
+		case "alu":
+			d = suite.ALU
+		case "firewire":
+			d = suite.Firewire
+		case "fpu":
+			d = suite.FPU
+		case "switch":
+			d = suite.Switch
+		default:
+			fatalf("unknown design %q", *design)
+		}
+	}
+
+	rep, art, err := core.RunFlowFull(d, core.Config{
+		Arch: arch, Flow: flow, ClockPeriod: *clock, Seed: *seed,
+		PlaceEffort: *effort, Verify: *verify, SkipCompaction: *skipCompact,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printReport(rep)
+	if *netlistOut != "" {
+		f, err := os.Create(*netlistOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := art.Impl.WriteVerilog(f); err != nil {
+			fatalf("%v", err)
+		}
+		f.Close()
+	}
+	if *floorplan != "" {
+		out := os.Stdout
+		if *floorplan != "-" {
+			f, err := os.Create(*floorplan)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := core.WriteFloorplan(out, rep, art); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func printReport(r *core.Report) {
+	fmt.Printf("design:         %s\n", r.Design)
+	fmt.Printf("architecture:   %s\n", r.Arch)
+	fmt.Printf("flow:           %s\n", r.Flow)
+	fmt.Printf("gate count:     %.0f NAND2 equivalents\n", r.GateCount)
+	if r.CompactionReduction > 0 {
+		fmt.Printf("compaction:     %.1f%% gate-area reduction, %d full adders extracted\n",
+			100*r.CompactionReduction, r.FullAdders)
+	}
+	fmt.Printf("die area:       %.0f\n", r.DieArea)
+	if r.Rows > 0 {
+		fmt.Printf("PLB array:      %d x %d (%.0f%% utilized, perturbation %.2f pitches)\n",
+			r.Rows, r.Cols, 100*r.Utilization, r.Perturbation)
+		fmt.Printf("vias:           %d populated (%d potential sites per PLB, %.1f%% of fabric sites)\n",
+			r.PopulatedVias, r.ViaSitesPerPLB,
+			100*float64(r.PopulatedVias)/float64(r.ViaSitesPerPLB*r.Rows*r.Cols))
+	}
+	fmt.Printf("wirelength:     %.0f (overflow %d)\n", r.Wirelength, r.Overflow)
+	fmt.Printf("clock period:   %.0f ps\n", r.ClockPeriod)
+	fmt.Printf("slack (top10):  %.1f ps avg, %.1f ps worst\n", r.AvgTopSlack, r.WorstSlack)
+	fmt.Printf("max arrival:    %.1f ps\n", r.MaxArrival)
+	fmt.Printf("power:          %.1f uW at this clock\n", r.PowerUW)
+	if len(r.ConfigCounts) > 0 {
+		fmt.Printf("configurations:")
+		for _, k := range sortedKeys(r.ConfigCounts) {
+			fmt.Printf(" %s=%d", k, r.ConfigCounts[k])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("runtime:        %s\n", r.Runtime.Round(1000000))
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vpgaflow: "+format+"\n", args...)
+	os.Exit(1)
+}

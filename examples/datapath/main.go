@@ -1,0 +1,59 @@
+// Datapath comparison: run the ALU benchmark through both PLB
+// architectures and both flows, reproducing one row of the paper's
+// Tables 1 and 2.
+//
+//	go run ./examples/datapath [-width N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vpga"
+)
+
+func main() {
+	width := flag.Int("width", 16, "ALU data width")
+	flag.Parse()
+
+	design := vpga.ALU(*width)
+	fmt.Printf("=== %s (%d-bit) through both architectures ===\n\n", design.Name, *width)
+
+	type key struct{ arch, flow string }
+	reports := map[key]*vpga.Report{}
+	clock := 0.0
+	for _, arch := range []*vpga.PLBArch{vpga.GranularPLB(), vpga.LUTPLB()} {
+		for _, flow := range []vpga.FlowKind{vpga.FlowA, vpga.FlowB} {
+			rep, err := vpga.Run(design, vpga.Options{
+				Arch: arch, Flow: flow, ClockPeriod: clock, Seed: 4,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if clock == 0 {
+				clock = rep.ClockPeriod // one cycle time for all four runs
+			}
+			reports[key{arch.Name, rep.Flow}] = rep
+			fmt.Printf("  %-13s %-7s gates=%6.0f die=%7.0f slack=%8.1f ps",
+				arch.Name, rep.Flow, rep.GateCount, rep.DieArea, rep.AvgTopSlack)
+			if rep.Rows > 0 {
+				fmt.Printf("  array=%dx%d (%.0f%% used)", rep.Rows, rep.Cols, 100*rep.Utilization)
+			}
+			fmt.Println()
+		}
+	}
+
+	g := reports[key{"granular-plb", "flow b"}]
+	l := reports[key{"lut-plb", "flow b"}]
+	fmt.Println()
+	fmt.Printf("granular vs LUT on the full flow (paper Sec. 3.2 directions):\n")
+	fmt.Printf("  die area:  %.0f vs %.0f  (%.1f%% reduction; paper: ~32%% avg on datapath)\n",
+		g.DieArea, l.DieArea, 100*(1-g.DieArea/l.DieArea))
+	fmt.Printf("  avg slack: %.1f vs %.1f ps at a %.0f ps clock (paper: ~18%% improvement)\n",
+		g.AvgTopSlack, l.AvgTopSlack, clock)
+	ga := reports[key{"granular-plb", "flow a"}]
+	la := reports[key{"lut-plb", "flow a"}]
+	fmt.Printf("  packing overhead (flow b / flow a): granular %.2fx, LUT %.2fx\n",
+		g.DieArea/ga.DieArea, l.DieArea/la.DieArea)
+}

@@ -1,0 +1,69 @@
+// Full adder in a single PLB (Section 2.2 of the paper): the granular
+// PLB computes both the sum (XOA + MUX through the programmable
+// inverter) and the carry (third MUX + ND3WI generate term) of a full
+// adder in one block, which the LUT-based PLB cannot.
+//
+//	go run ./examples/fulladder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vpga"
+)
+
+// An 8-bit ripple-carry adder: eight full adders chained.
+const adderSrc = `
+module rca8(input clk, input [7:0] a, input [7:0] b, input cin,
+            output [8:0] s);
+  reg [7:0] ra;
+  reg [7:0] rb;
+  reg rc;
+  always ra <= a;
+  always rb <= b;
+  always rc <= cin;
+  wire [8:0] sum = {1'b0, ra} + {1'b0, rb} + {8'b0, rc};
+  reg [8:0] rs;
+  always rs <= sum;
+  assign s = rs;
+endmodule`
+
+func main() {
+	design := vpga.Design{Name: "rca8", RTL: adderSrc, Datapath: true}
+
+	fmt.Println("=== Section 2.2: the full adder and PLB granularity ===")
+	fmt.Println()
+
+	// Architecture-level fact first: one granular PLB hosts a full
+	// adder, one LUT-based PLB does not (checked by the slot matcher).
+	gran, lut := vpga.GranularPLB(), vpga.LUTPLB()
+	fmt.Printf("granular PLB (%s)\n", gran.SlotSummary())
+	fmt.Printf("LUT PLB      (%s)\n", lut.SlotSummary())
+	fa := gran.Config("FA")
+	fmt.Printf("FA macro hosted by granular PLB: %v\n", gran.CanPack([]*vpga.PLBConfig{fa}))
+	fmt.Printf("FA macro hosted by LUT PLB:      %v\n", lut.CanPack([]*vpga.PLBConfig{fa}))
+	fmt.Println()
+
+	// Now the flow: the compactor should find the chained full adders
+	// and pack each into a single PLB. One clock period is shared so
+	// the slacks are comparable.
+	clock := 0.0
+	for _, arch := range []*vpga.PLBArch{gran, lut} {
+		rep, err := vpga.Run(design, vpga.Options{Arch: arch, Flow: vpga.FlowB, ClockPeriod: clock, Seed: 2, Verify: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if clock == 0 {
+			clock = rep.ClockPeriod
+		}
+		fmt.Printf("%-13s full adders extracted: %d, die area %.0f, PLB array %dx%d, avg slack %.1f ps\n",
+			arch.Name+":", rep.FullAdders, rep.DieArea, rep.Rows, rep.Cols, rep.AvgTopSlack)
+	}
+	fmt.Println()
+	fmt.Println("The granular architecture packs sum+carry pairs into FA macros; the")
+	fmt.Println("LUT architecture spends a 3-LUT per sum bit and cannot merge the pair.")
+	fmt.Println("(On a design this small the flip-flops dominate both arrays, so the")
+	fmt.Println("granular PLB's larger tile can still cost die area — the same effect")
+	fmt.Println("the paper reports on the sequential-dominated Firewire benchmark.)")
+}

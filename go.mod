@@ -1,0 +1,3 @@
+module vpga
+
+go 1.22

@@ -1,0 +1,270 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+
+	"vpga/internal/logic"
+	"vpga/internal/netlist"
+	"vpga/internal/rtl"
+)
+
+func TestAndFolding(t *testing.T) {
+	g := New()
+	a, b := g.AddPI(), g.AddPI()
+	if g.And(ConstFalse, a) != ConstFalse {
+		t.Error("0·a != 0")
+	}
+	if g.And(ConstTrue, a) != a {
+		t.Error("1·a != a")
+	}
+	if g.And(a, a) != a {
+		t.Error("a·a != a")
+	}
+	if g.And(a, a.Not()) != ConstFalse {
+		t.Error("a·a' != 0")
+	}
+	x := g.And(a, b)
+	if y := g.And(b, a); y != x {
+		t.Error("structural hashing missed commuted AND")
+	}
+	if g.NumAnds() != 1 {
+		t.Errorf("NumAnds = %d, want 1", g.NumAnds())
+	}
+}
+
+func TestLitOps(t *testing.T) {
+	l := MkLit(5, true)
+	if l.Node() != 5 || !l.Neg() {
+		t.Fatal("MkLit broken")
+	}
+	if l.Not().Neg() || l.NotIf(false) != l || l.NotIf(true) != l.Not() {
+		t.Fatal("Not/NotIf broken")
+	}
+}
+
+func TestEvalGates(t *testing.T) {
+	g := New()
+	a, b := g.AddPI(), g.AddPI()
+	g.AddPO(g.And(a, b))
+	g.AddPO(g.Or(a, b))
+	g.AddPO(g.Xor(a, b))
+	g.AddPO(g.Mux(a, b, b.Not()))
+	for v := 0; v < 4; v++ {
+		av, bv := v&1 == 1, v>>1&1 == 1
+		out := g.Eval([]bool{av, bv})
+		if out[0] != (av && bv) || out[1] != (av || bv) || out[2] != (av != bv) {
+			t.Fatalf("v=%d: %v", v, out)
+		}
+		want := bv
+		if av {
+			want = !bv
+		}
+		if out[3] != want {
+			t.Fatalf("mux wrong at v=%d", v)
+		}
+	}
+}
+
+func TestFromTTExhaustive3(t *testing.T) {
+	// Every 3-input function must synthesize correctly.
+	for bits := uint64(0); bits < 256; bits++ {
+		fn := logic.NewTT(3, bits)
+		g := New()
+		ins := []Lit{g.AddPI(), g.AddPI(), g.AddPI()}
+		g.AddPO(g.FromTT(fn, ins))
+		for row := uint(0); row < 8; row++ {
+			vals := []bool{row&1 == 1, row>>1&1 == 1, row>>2&1 == 1}
+			if g.Eval(vals)[0] != fn.Eval(row) {
+				t.Fatalf("FromTT wrong for %v at row %d", fn, row)
+			}
+		}
+	}
+}
+
+func TestFromTTRandom5(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		fn := logic.NewTT(5, rng.Uint64())
+		g := New()
+		var ins []Lit
+		for i := 0; i < 5; i++ {
+			ins = append(ins, g.AddPI())
+		}
+		g.AddPO(g.FromTT(fn, ins))
+		for row := uint(0); row < 32; row++ {
+			vals := make([]bool, 5)
+			for i := range vals {
+				vals[i] = row>>uint(i)&1 == 1
+			}
+			if g.Eval(vals)[0] != fn.Eval(row) {
+				t.Fatalf("FromTT wrong for %v at row %d", fn, row)
+			}
+		}
+	}
+}
+
+func roundTrip(t *testing.T, src string) (*netlist.Netlist, *Design) {
+	t.Helper()
+	nl, err := rtl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, d
+}
+
+const adderSrc = `
+module add6(input clk, input [5:0] a, input [5:0] b, output [5:0] s, output [5:0] r);
+  reg [5:0] acc;
+  always acc <= acc + a;
+  assign s = a + b;
+  assign r = acc;
+endmodule`
+
+func TestNetlistRoundTrip(t *testing.T) {
+	nl, d := roundTrip(t, adderSrc)
+	back := d.ToNetlist()
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped netlist invalid: %v", err)
+	}
+	if err := netlist.Equivalent(nl, back, 12, 6, 99); err != nil {
+		t.Fatalf("AIG round trip not equivalent: %v", err)
+	}
+}
+
+func TestOptimizePreservesFunction(t *testing.T) {
+	nl, d := roundTrip(t, adderSrc)
+	d.Optimize(4)
+	back := d.ToNetlist()
+	if err := netlist.Equivalent(nl, back, 12, 6, 123); err != nil {
+		t.Fatalf("optimize broke equivalence: %v", err)
+	}
+}
+
+func TestBalanceReducesDepthOfChain(t *testing.T) {
+	// A long AND chain must balance to logarithmic depth.
+	g := New()
+	var ins []Lit
+	for i := 0; i < 16; i++ {
+		ins = append(ins, g.AddPI())
+	}
+	acc := ins[0]
+	for _, l := range ins[1:] {
+		acc = g.And(acc, l)
+	}
+	g.AddPO(acc)
+	d := &Design{G: g, Name: "chain"}
+	if got := d.G.MaxLevel(); got != 15 {
+		t.Fatalf("chain depth = %d, want 15", got)
+	}
+	d.Balance()
+	if got := d.G.MaxLevel(); got != 4 {
+		t.Fatalf("balanced depth = %d, want 4", got)
+	}
+	// Function preserved: AND of all inputs.
+	vals := make([]bool, 16)
+	for i := range vals {
+		vals[i] = true
+	}
+	if !d.G.Eval(vals)[0] {
+		t.Fatal("balanced chain lost its function")
+	}
+	vals[7] = false
+	if d.G.Eval(vals)[0] {
+		t.Fatal("balanced chain lost its function")
+	}
+}
+
+func TestBalancePreservesRandomLogic(t *testing.T) {
+	_, d := roundTrip(t, adderSrc)
+	ref := d.G
+	refVals := func(g *AIG, seed int64) [][]bool {
+		rng := rand.New(rand.NewSource(seed))
+		var out [][]bool
+		for v := 0; v < 32; v++ {
+			in := make([]bool, g.NumPIs())
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			out = append(out, g.Eval(in))
+		}
+		return out
+	}
+	before := refVals(ref, 5)
+	d.Balance()
+	after := refVals(d.G, 5)
+	for i := range before {
+		for j := range before[i] {
+			if before[i][j] != after[i][j] {
+				t.Fatalf("balance changed PO %d on vector %d", j, i)
+			}
+		}
+	}
+}
+
+func TestCompactedDropsDeadNodes(t *testing.T) {
+	g := New()
+	a, b := g.AddPI(), g.AddPI()
+	g.And(a, b.Not()) // dead
+	keep := g.And(a, b)
+	g.AddPO(keep)
+	if g.NumAnds() != 2 {
+		t.Fatalf("setup: %d ANDs", g.NumAnds())
+	}
+	ng, mapLit := g.Compacted()
+	if ng.NumAnds() != 1 {
+		t.Fatalf("compacted has %d ANDs, want 1", ng.NumAnds())
+	}
+	if got := mapLit(keep); got.Node() == 0 {
+		t.Fatal("live literal mapped to constant")
+	}
+	if ng.NumPIs() != 2 || ng.NumPOs() != 1 {
+		t.Fatal("interface changed")
+	}
+}
+
+func TestCountLive(t *testing.T) {
+	g := New()
+	a, b := g.AddPI(), g.AddPI()
+	g.And(a, b.Not())
+	g.AddPO(g.And(a, b))
+	if got := g.CountLive(); got != 1 {
+		t.Fatalf("CountLive = %d, want 1", got)
+	}
+}
+
+func TestDesignShellBookkeeping(t *testing.T) {
+	_, d := roundTrip(t, adderSrc)
+	if d.NumFFs() != 6 {
+		t.Fatalf("FFs = %d, want 6", d.NumFFs())
+	}
+	if len(d.PINames) != 13 { // clk + 2×6
+		t.Fatalf("PIs = %d, want 13", len(d.PINames))
+	}
+	if len(d.PONames) != 12 {
+		t.Fatalf("POs = %d, want 12", len(d.PONames))
+	}
+	if d.G.NumPIs() != len(d.PINames)+d.NumFFs() {
+		t.Fatal("AIG PI count mismatch")
+	}
+	if d.G.NumPOs() != len(d.PONames)+d.NumFFs() {
+		t.Fatal("AIG PO count mismatch")
+	}
+}
+
+func TestXorDepthViaBalance(t *testing.T) {
+	// XOR tree from RTL reduction should balance to reasonable depth.
+	src := `
+module par(input [15:0] a, output p);
+  assign p = ^a;
+endmodule`
+	_, d := roundTrip(t, src)
+	d.Optimize(3)
+	if lv := d.G.MaxLevel(); lv > 12 {
+		t.Errorf("parity depth %d too large", lv)
+	}
+}

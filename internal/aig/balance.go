@@ -1,0 +1,77 @@
+package aig
+
+import "sort"
+
+// Balance rebuilds the design's AND trees to minimize depth: every
+// maximal single-fanout conjunction is flattened into a multi-input
+// AND and re-built greedily from the shallowest operands up (the
+// classic ABC-style balance pass). Shared nodes (fanout > 1) are tree
+// roots and are never duplicated.
+func (d *Design) Balance() {
+	g := d.G
+	refs := make([]int, g.NumNodes())
+	for idx := 1; idx < g.NumNodes(); idx++ {
+		if !g.IsAnd(idx) {
+			continue
+		}
+		f0, f1 := g.Fanins(idx)
+		refs[f0.Node()]++
+		refs[f1.Node()]++
+	}
+	for i, r := range g.PORefs() {
+		refs[i] += r
+	}
+
+	ng := New()
+	for range g.PIs() {
+		ng.AddPI()
+	}
+	newLit := make([]Lit, g.NumNodes())
+	for i := range newLit {
+		newLit[i] = Lit(^uint32(0))
+	}
+	newLit[0] = ConstFalse
+	for i, idx := range g.PIs() {
+		newLit[idx] = MkLit(1+i, false)
+	}
+
+	var rebuild func(n int) Lit
+	var gather func(l Lit, leaves *[]Lit)
+	gather = func(l Lit, leaves *[]Lit) {
+		n := l.Node()
+		if !l.Neg() && g.IsAnd(n) && refs[n] <= 1 {
+			f0, f1 := g.Fanins(n)
+			gather(f0, leaves)
+			gather(f1, leaves)
+			return
+		}
+		*leaves = append(*leaves, rebuild(n).NotIf(l.Neg()))
+	}
+	rebuild = func(n int) Lit {
+		if newLit[n] != Lit(^uint32(0)) {
+			return newLit[n]
+		}
+		var leaves []Lit
+		f0, f1 := g.Fanins(n)
+		gather(f0, &leaves)
+		gather(f1, &leaves)
+		// Combine shallow operands first. Re-sorting after each merge is
+		// O(k² log k) worst case but conjunction widths are small.
+		for len(leaves) > 1 {
+			sort.Slice(leaves, func(i, j int) bool {
+				return ng.Level(leaves[i]) > ng.Level(leaves[j])
+			})
+			a := leaves[len(leaves)-1]
+			b := leaves[len(leaves)-2]
+			leaves = leaves[:len(leaves)-2]
+			leaves = append(leaves, ng.And(a, b))
+		}
+		newLit[n] = leaves[0]
+		return leaves[0]
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		ng.AddPO(rebuild(po.Node()).NotIf(po.Neg()))
+	}
+	d.G = ng
+}

@@ -1,0 +1,170 @@
+package aig
+
+import (
+	"fmt"
+
+	"vpga/internal/logic"
+	"vpga/internal/netlist"
+)
+
+// Design couples an AIG with the sequential shell of the original
+// netlist: the AIG's inputs are the design PIs followed by the
+// flip-flop Q outputs, and its outputs are the design POs followed by
+// the flip-flop D inputs.
+type Design struct {
+	G       *AIG
+	PINames []string
+	PONames []string
+	FFNames []string
+	Name    string
+}
+
+// NumFFs returns the flip-flop count.
+func (d *Design) NumFFs() int { return len(d.FFNames) }
+
+// FromNetlist extracts the combinational core of nl into an AIG.
+func FromNetlist(nl *netlist.Netlist) (*Design, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{G: New(), Name: nl.Name}
+	lit := make([]Lit, nl.NumNodes())
+	for i := range lit {
+		lit[i] = Lit(^uint32(0))
+	}
+	// Inputs: design PIs, then FF Qs.
+	for _, id := range nl.PIs() {
+		lit[id] = d.G.AddPI()
+		d.PINames = append(d.PINames, nl.Node(id).Name)
+	}
+	var ffs []netlist.NodeID
+	for _, n := range nl.Nodes() {
+		if n.Kind == netlist.KindDFF {
+			lit[n.ID] = d.G.AddPI()
+			d.FFNames = append(d.FFNames, n.Name)
+			ffs = append(ffs, n.ID)
+		}
+	}
+	for _, id := range order {
+		n := nl.Node(id)
+		switch n.Kind {
+		case netlist.KindConst:
+			lit[id] = ConstFalse.NotIf(n.ConstVal)
+		case netlist.KindGate:
+			ins := make([]Lit, len(n.Fanins))
+			for i, f := range n.Fanins {
+				if lit[f] == Lit(^uint32(0)) {
+					return nil, fmt.Errorf("aig: gate %d reads unconverted node %d", id, f)
+				}
+				ins[i] = lit[f]
+			}
+			lit[id] = d.G.FromTT(n.Func, ins)
+		case netlist.KindOutput:
+			lit[id] = lit[n.Fanins[0]]
+		}
+	}
+	for _, id := range nl.POs() {
+		d.G.AddPO(lit[id])
+		d.PONames = append(d.PONames, nl.Node(id).Name)
+	}
+	for _, id := range ffs {
+		f := nl.Node(id).Fanins[0]
+		if lit[f] == Lit(^uint32(0)) {
+			return nil, fmt.Errorf("aig: FF %d reads unconverted node %d", id, f)
+		}
+		d.G.AddPO(lit[f])
+	}
+	return d, nil
+}
+
+// ToNetlist rebuilds a gate-level netlist of INV/AND2 primitives plus
+// the original flip-flop shell. It is used for equivalence checking and
+// as a fallback path; technology mapping normally consumes the AIG
+// directly.
+func (d *Design) ToNetlist() *netlist.Netlist {
+	g := d.G
+	nl := netlist.New(d.Name)
+	nodeOf := make([]netlist.NodeID, g.NumNodes())
+	for i := range nodeOf {
+		nodeOf[i] = netlist.Nil
+	}
+	// Inputs.
+	for i, idx := range g.PIs() {
+		if i < len(d.PINames) {
+			nodeOf[idx] = nl.AddInput(d.PINames[i])
+		} else {
+			nodeOf[idx] = nl.AddDFF(d.FFNames[i-len(d.PINames)], 0)
+			nl.SetFanin(nodeOf[idx], 0, nodeOf[idx]) // patched below
+		}
+	}
+	var constNode netlist.NodeID = netlist.Nil
+	getConst := func() netlist.NodeID {
+		if constNode == netlist.Nil {
+			constNode = nl.AddConst(false)
+		}
+		return constNode
+	}
+	invCache := map[netlist.NodeID]netlist.NodeID{}
+	inv := func(id netlist.NodeID) netlist.NodeID {
+		if v, ok := invCache[id]; ok {
+			return v
+		}
+		v := nl.AddGate("INV", logic.VarTT(1, 0).Not(), id)
+		invCache[id] = v
+		return v
+	}
+	resolve := func(l Lit) netlist.NodeID {
+		var base netlist.NodeID
+		if l.Node() == 0 {
+			base = getConst()
+		} else {
+			base = nodeOf[l.Node()]
+		}
+		if l.Neg() {
+			return inv(base)
+		}
+		return base
+	}
+	for idx := 1; idx < g.NumNodes(); idx++ {
+		if !g.IsAnd(idx) {
+			continue
+		}
+		f0, f1 := g.Fanins(idx)
+		if resolve0 := nodeOf[f0.Node()]; resolve0 == netlist.Nil && f0.Node() != 0 {
+			continue // unreachable garbage node; skip
+		}
+		if resolve1 := nodeOf[f1.Node()]; resolve1 == netlist.Nil && f1.Node() != 0 {
+			continue
+		}
+		nodeOf[idx] = nl.AddGate("AND2", logic.TTAnd2, resolve(f0), resolve(f1))
+	}
+	for i, name := range d.PONames {
+		nl.AddOutput(name, resolve(g.PO(i)))
+	}
+	// Patch FF D inputs.
+	for i := range d.FFNames {
+		ff := nodeOf[g.PIs()[len(d.PINames)+i]]
+		nl.SetFanin(ff, 0, resolve(g.PO(len(d.PONames)+i)))
+	}
+	nl.Sweep()
+	nl.Compact()
+	return nl
+}
+
+// Optimize runs the synthesis clean-up pipeline: compaction (dead node
+// removal with structural rehashing) followed by tree balancing for
+// depth, iterated to a fixed point (at most `rounds` times).
+func (d *Design) Optimize(rounds int) {
+	for i := 0; i < rounds; i++ {
+		before := d.G.CountLive()
+		depthBefore := d.G.MaxLevel()
+		g2, mapLit := d.G.Compacted()
+		_ = mapLit
+		d.G = g2
+		d.Balance()
+		if d.G.CountLive() >= before && d.G.MaxLevel() >= depthBefore {
+			break
+		}
+	}
+}

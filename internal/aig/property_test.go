@@ -1,0 +1,140 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vpga/internal/logic"
+)
+
+// TestStrashProperty: structurally identical subgraphs built in any
+// order share nodes.
+func TestStrashProperty(t *testing.T) {
+	err := quick.Check(func(x, y uint8) bool {
+		g := New()
+		a, b, c := g.AddPI(), g.AddPI(), g.AddPI()
+		lits := []Lit{a, b, c, a.Not(), b.Not(), c.Not()}
+		l1 := g.And(lits[x%6], lits[y%6])
+		l2 := g.And(lits[y%6], lits[x%6])
+		return l1 == l2
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAndSemanticsProperty: And/Or/Xor/Mux agree with the boolean
+// definitions on all PI assignments.
+func TestAndSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		g := New()
+		a, b, s := g.AddPI(), g.AddPI(), g.AddPI()
+		// Build a random expression tree and a parallel TT evaluation.
+		vars := []Lit{a, b, s}
+		tts := []logic.TT{logic.VarTT(3, 0), logic.VarTT(3, 1), logic.VarTT(3, 2)}
+		for i := 0; i < 12; i++ {
+			x := rng.Intn(len(vars))
+			y := rng.Intn(len(vars))
+			lx, ly := vars[x], vars[y]
+			tx, ty := tts[x], tts[y]
+			if rng.Intn(2) == 1 {
+				lx = lx.Not()
+				tx = tx.Not()
+			}
+			switch rng.Intn(3) {
+			case 0:
+				vars = append(vars, g.And(lx, ly))
+				tts = append(tts, tx.And(ty))
+			case 1:
+				vars = append(vars, g.Or(lx, ly))
+				tts = append(tts, tx.Or(ty))
+			default:
+				vars = append(vars, g.Xor(lx, ly))
+				tts = append(tts, tx.Xor(ty))
+			}
+		}
+		root := len(vars) - 1
+		g.AddPO(vars[root])
+		for row := uint(0); row < 8; row++ {
+			in := []bool{row&1 == 1, row>>1&1 == 1, row>>2&1 == 1}
+			if g.Eval(in)[0] != tts[root].Eval(row) {
+				t.Fatalf("trial %d: semantics diverge at row %d", trial, row)
+			}
+		}
+	}
+}
+
+// TestBalanceIdempotent: balancing twice gives the same depth and size
+// as balancing once.
+func TestBalanceIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		var lits []Lit
+		for i := 0; i < 6; i++ {
+			lits = append(lits, g.AddPI())
+		}
+		for i := 0; i < 40; i++ {
+			a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		g.AddPO(lits[len(lits)-1])
+		d := &Design{G: g}
+		// Balance may keep improving as restructuring exposes larger
+		// flattenable trees, but depth must never increase and must
+		// reach a fixed point quickly.
+		prev := d.G.MaxLevel()
+		converged := false
+		for i := 0; i < 6; i++ {
+			d.Balance()
+			cur := d.G.MaxLevel()
+			if cur > prev {
+				t.Fatalf("trial %d: balance increased depth %d -> %d", trial, prev, cur)
+			}
+			if cur == prev {
+				converged = true
+				break
+			}
+			prev = cur
+		}
+		if !converged {
+			t.Fatalf("trial %d: balance did not converge within 6 passes", trial)
+		}
+	}
+}
+
+// TestCompactedPreservesEval: compaction never changes PO values.
+func TestCompactedPreservesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		var lits []Lit
+		for i := 0; i < 5; i++ {
+			lits = append(lits, g.AddPI())
+		}
+		for i := 0; i < 30; i++ {
+			a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		for i := 0; i < 3; i++ {
+			g.AddPO(lits[rng.Intn(len(lits))])
+		}
+		ng, _ := g.Compacted()
+		for v := 0; v < 32; v++ {
+			in := make([]bool, 5)
+			for i := range in {
+				in[i] = v>>uint(i)&1 == 1
+			}
+			a, b := g.Eval(in), ng.Eval(in)
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("trial %d: compaction changed PO %d", trial, k)
+				}
+			}
+		}
+	}
+}

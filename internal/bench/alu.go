@@ -1,0 +1,60 @@
+package bench
+
+import "fmt"
+
+// ALU generates a registered W-bit arithmetic-logic unit: add,
+// subtract, bitwise ops, barrel shifts and comparison, selected by a
+// 3-bit opcode through a mux tree. Datapath-dominated.
+func ALU(w int) Design {
+	b := &buf{}
+	lg := log2ceil(w)
+	b.f("module alu%d(input clk, input [%d:0] a, input [%d:0] b, input [2:0] op,", w, w-1, w-1)
+	b.f("            output [%d:0] y, output zero, output eq);", w-1)
+	// Input registers.
+	b.f("  reg [%d:0] ra;", w-1)
+	b.f("  reg [%d:0] rb;", w-1)
+	b.f("  reg [2:0] rop;")
+	b.f("  always ra <= a;")
+	b.f("  always rb <= b;")
+	b.f("  always rop <= op;")
+	// Arithmetic.
+	b.f("  wire [%d:0] sum = ra + rb;", w-1)
+	b.f("  wire [%d:0] diff = ra - rb;", w-1)
+	b.f("  wire [%d:0] band = ra & rb;", w-1)
+	b.f("  wire [%d:0] bor = ra | rb;", w-1)
+	b.f("  wire [%d:0] bxor = ra ^ rb;", w-1)
+	// Barrel shifter (left and right) by rb's low bits.
+	prev := "ra"
+	for i := 0; i < lg; i++ {
+		b.f("  wire [%d:0] sl%d = rb[%d] ? (%s << %d) : %s;", w-1, i, i, prev, 1<<uint(i), prev)
+		prev = fmt.Sprintf("sl%d", i)
+	}
+	shl := prev
+	prev = "ra"
+	for i := 0; i < lg; i++ {
+		b.f("  wire [%d:0] sr%d = rb[%d] ? (%s >> %d) : %s;", w-1, i, i, prev, 1<<uint(i), prev)
+		prev = fmt.Sprintf("sr%d", i)
+	}
+	shr := prev
+	// Opcode mux tree: 000 add, 001 sub, 010 and, 011 or, 100 xor,
+	// 101 shl, 110 shr, 111 pass-b.
+	b.f("  wire [%d:0] m00 = rop[0] ? diff : sum;", w-1)
+	b.f("  wire [%d:0] m01 = rop[0] ? bor : band;", w-1)
+	b.f("  wire [%d:0] m10 = rop[0] ? %s : bxor;", w-1, shl)
+	b.f("  wire [%d:0] m11 = rop[0] ? rb : %s;", w-1, shr)
+	b.f("  wire [%d:0] mlo = rop[1] ? m01 : m00;", w-1)
+	b.f("  wire [%d:0] mhi = rop[1] ? m11 : m10;", w-1)
+	b.f("  wire [%d:0] res = rop[2] ? mhi : mlo;", w-1)
+	// Flags and output register.
+	b.f("  reg [%d:0] ry;", w-1)
+	b.f("  reg rzero;")
+	b.f("  reg req_;")
+	b.f("  always ry <= res;")
+	b.f("  always rzero <= res == 0;")
+	b.f("  always req_ <= ra == rb;")
+	b.f("  assign y = ry;")
+	b.f("  assign zero = rzero;")
+	b.f("  assign eq = req_;")
+	b.f("endmodule")
+	return Design{Name: "ALU", RTL: b.String(), Datapath: true}
+}

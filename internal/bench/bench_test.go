@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"testing"
+
+	"vpga/internal/aig"
+	"vpga/internal/netlist"
+	"vpga/internal/rtl"
+)
+
+func compileDesign(t *testing.T, d Design) *netlist.Netlist {
+	t.Helper()
+	nl, err := rtl.Compile(d.RTL)
+	if err != nil {
+		t.Fatalf("%s does not compile: %v\nRTL:\n%s", d.Name, err, clip(d.RTL))
+	}
+	return nl
+}
+
+func clip(s string) string {
+	if len(s) > 4000 {
+		return s[:4000] + "\n..."
+	}
+	return s
+}
+
+func TestAllTestSuiteDesignsCompile(t *testing.T) {
+	for _, d := range TestSuite().All() {
+		nl := compileDesign(t, d)
+		if err := nl.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		st := nl.ComputeStats()
+		if st.Gates == 0 || st.DFFs == 0 {
+			t.Errorf("%s: degenerate design %+v", d.Name, st)
+		}
+		t.Logf("%s: %s", d.Name, nl)
+	}
+}
+
+func TestSuiteOrder(t *testing.T) {
+	s := TestSuite()
+	names := []string{}
+	for _, d := range s.All() {
+		names = append(names, d.Name)
+	}
+	want := []string{"ALU", "Firewire", "FPU", "NetworkSwitch"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestALUFunctional(t *testing.T) {
+	nl := compileDesign(t, ALU(8))
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(a, b uint64, op uint64) map[string]bool {
+		in := map[string]bool{"clk": false}
+		for i := 0; i < 8; i++ {
+			in["a["+itoa(i)+"]"] = a>>uint(i)&1 == 1
+			in["b["+itoa(i)+"]"] = b>>uint(i)&1 == 1
+		}
+		for i := 0; i < 3; i++ {
+			in["op["+itoa(i)+"]"] = op>>uint(i)&1 == 1
+		}
+		return in
+	}
+	read := func(out map[string]bool) uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			if out["y["+itoa(i)+"]"] {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	cases := []struct {
+		a, b, op, want uint64
+	}{
+		{100, 55, 0, 155},     // add
+		{100, 55, 1, 45},      // sub
+		{0xF0, 0x3C, 2, 0x30}, // and
+		{0xF0, 0x3C, 3, 0xFC}, // or
+		{0xF0, 0x3C, 4, 0xCC}, // xor
+		{0x01, 3, 5, 0x08},    // shl by b
+		{0x80, 2, 6, 0x20},    // shr by b
+		{0x00, 0x7E, 7, 0x7E}, // pass b
+		{0xFF, 0x01, 0, 0x00}, // add wraps
+	}
+	for _, c := range cases {
+		// Three cycles: register inputs, compute into output register,
+		// observe.
+		sim.Reset()
+		sim.Step(drive(c.a, c.b, c.op))
+		sim.Step(drive(c.a, c.b, c.op))
+		out := sim.Step(drive(c.a, c.b, c.op))
+		if got := read(out); got != c.want {
+			t.Errorf("op %d: alu(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFPUMultiplierPath(t *testing.T) {
+	nl := compileDesign(t, FPU(6))
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(am, bm uint64) map[string]bool {
+		in := map[string]bool{"clk": false, "op": true}
+		for i := 0; i < 6; i++ {
+			in["am["+itoa(i)+"]"] = am>>uint(i)&1 == 1
+			in["bm["+itoa(i)+"]"] = bm>>uint(i)&1 == 1
+		}
+		for i := 0; i < 8; i++ {
+			in["ae["+itoa(i)+"]"] = false
+			in["be["+itoa(i)+"]"] = false
+		}
+		return in
+	}
+	for _, c := range [][3]uint64{{5, 7, 35}, {63, 63, 3969}, {0, 13, 0}, {32, 2, 64}} {
+		sim.Reset()
+		sim.Step(drive(c[0], c[1]))
+		sim.Step(drive(c[0], c[1]))
+		out := sim.Step(drive(c[0], c[1]))
+		var got uint64
+		for i := 0; i < 12; i++ {
+			if out["ym["+itoa(i)+"]"] {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != c[2] {
+			t.Errorf("%d × %d = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestFirewireCRCMatrix(t *testing.T) {
+	// Cross-check the symbolic CRC-32 matrix against a bitwise
+	// reference implementation for a few data bytes.
+	ref := func(crc uint32, data byte) uint32 {
+		for bit := 7; bit >= 0; bit-- {
+			fb := (crc>>31)&1 ^ uint32(data>>uint(bit))&1
+			crc <<= 1
+			if fb == 1 {
+				crc ^= crc32Poly
+			}
+		}
+		return crc
+	}
+	mat := crc32Matrix()
+	apply := func(crc uint32, data byte) uint32 {
+		var out uint32
+		for j := 0; j < 32; j++ {
+			var v uint32
+			for k := 0; k < 32; k++ {
+				if mat[j]>>uint(k)&1 == 1 {
+					v ^= crc >> uint(k) & 1
+				}
+			}
+			for k := 0; k < 8; k++ {
+				if mat[j]>>uint(32+k)&1 == 1 {
+					v ^= uint32(data) >> uint(k) & 1
+				}
+			}
+			out |= v << uint(j)
+		}
+		return out
+	}
+	for _, c := range []struct {
+		crc  uint32
+		data byte
+	}{{0, 0x01}, {0xFFFFFFFF, 0xA5}, {0x12345678, 0x3C}, {0xDEADBEEF, 0xFF}} {
+		if got, want := apply(c.crc, c.data), ref(c.crc, c.data); got != want {
+			t.Errorf("crc step(%#x, %#x) = %#x, want %#x", c.crc, c.data, got, want)
+		}
+	}
+}
+
+func TestFirewireIsSequentialDominated(t *testing.T) {
+	nl := compileDesign(t, Firewire(12))
+	st := nl.ComputeStats()
+	// DFF area 4.5 vs roughly 1–2 per gate: the FF count should rival
+	// the gate count in this control design.
+	if st.DFFs*3 < st.Gates {
+		t.Errorf("Firewire FFs=%d gates=%d: not sequential-dominated", st.DFFs, st.Gates)
+	}
+}
+
+func TestDatapathFlags(t *testing.T) {
+	s := TestSuite()
+	if !s.ALU.Datapath || !s.FPU.Datapath || !s.Switch.Datapath {
+		t.Error("datapath designs mislabeled")
+	}
+	if s.Firewire.Datapath {
+		t.Error("Firewire should not be datapath-dominated")
+	}
+}
+
+func TestSwitchRoutesData(t *testing.T) {
+	nl := compileDesign(t, Switch(4, 8, 2))
+	if _, err := netlist.NewSimulator(nl); err != nil {
+		t.Fatal(err)
+	}
+	st := nl.ComputeStats()
+	// 4 ports × depth 2 × 8 bits of FIFO registers plus pointers and
+	// output registers.
+	if st.DFFs < 4*2*8 {
+		t.Errorf("switch has %d FFs, expected at least 64", st.DFFs)
+	}
+}
+
+func TestPaperSuiteSizesAIG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size generation is slow")
+	}
+	// The paper-scale designs must at least elaborate and convert.
+	for _, d := range PaperSuite().All() {
+		nl := compileDesign(t, d)
+		if _, err := aig.FromNetlist(nl); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		t.Logf("%s: %v", d.Name, nl)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestFIRCompilesAndFilters(t *testing.T) {
+	d := FIR(4, 6)
+	nl := compileDesign(t, d)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Datapath {
+		t.Error("FIR should be datapath-dominated")
+	}
+	// Impulse response: drive x=1 for one cycle then zeros; outputs
+	// must replay the coefficient sequence (transposed form delays by
+	// the register chain).
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(v uint64) map[string]bool {
+		in := map[string]bool{"clk": false}
+		for i := 0; i < 6; i++ {
+			in["x["+itoa(i)+"]"] = v>>uint(i)&1 == 1
+		}
+		return in
+	}
+	read := func(out map[string]bool) uint64 {
+		var v uint64
+		for i := 0; i < 12; i++ {
+			if out["y["+itoa(i)+"]"] {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	var got []uint64
+	sim.Step(drive(1))
+	for c := 0; c < 8; c++ {
+		out := sim.Step(drive(0))
+		got = append(got, read(out))
+	}
+	// Nonzero impulse response of length = taps, then zeros.
+	nonzero := 0
+	for _, v := range got {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 3 || got[7] != 0 {
+		t.Fatalf("impulse response looks wrong: %v", got)
+	}
+}
+
+func TestFIRExtractsFullAdders(t *testing.T) {
+	// The shift-add networks and accumulator adders are FA-rich on the
+	// granular architecture — checked at the compaction level via the
+	// core integration tests; here just confirm the scale knobs work.
+	small, big := FIR(4, 6), FIR(16, 12)
+	nls := compileDesign(t, small).ComputeStats()
+	nlb := compileDesign(t, big).ComputeStats()
+	if nlb.Gates < 4*nls.Gates {
+		t.Errorf("FIR scaling weak: %d vs %d gates", nls.Gates, nlb.Gates)
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+import "fmt"
+
+// FIR generates a T-tap, W-bit transposed-form FIR filter with fixed
+// pseudo-random coefficients: each tap multiplies the input by a
+// constant (realized as a shift-add network) and accumulates through a
+// register chain. A DSP-domain benchmark beyond the paper's four,
+// used by the application-domain exploration: MAC-heavy logic is the
+// best case for the granular PLB's single-block full adders.
+func FIR(taps, w int) Design {
+	acc := 2 * w // accumulator width
+	b := &buf{}
+	b.f("module fir%dx%d(input clk, input [%d:0] x, output [%d:0] y);", taps, w, w-1, acc-1)
+	b.f("  reg [%d:0] xr;", w-1)
+	b.f("  always xr <= x;")
+	// Deterministic coefficient table (odd constants, a few bits each).
+	coeff := make([]uint64, taps)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range coeff {
+		state = state*6364136223846793005 + 1442695040888963407
+		coeff[i] = (state >> 40 & ((1 << uint(min2(w, 6))) - 1)) | 1
+	}
+	// Per-tap constant multiply: sum of shifted copies of xr.
+	for i, c := range coeff {
+		var terms []string
+		for bit := 0; bit < 16; bit++ {
+			if c>>uint(bit)&1 == 1 {
+				terms = append(terms, fmt.Sprintf("({%d'b0, xr} << %d)", acc-w, bit))
+			}
+		}
+		expr := terms[0]
+		for _, t := range terms[1:] {
+			expr += " + " + t
+		}
+		b.f("  wire [%d:0] p%d = %s;", acc-1, i, expr)
+	}
+	// Transposed-form accumulator registers: z_i <= p_i + z_{i+1}.
+	for i := taps - 1; i >= 0; i-- {
+		b.f("  reg [%d:0] z%d;", acc-1, i)
+		if i == taps-1 {
+			b.f("  always z%d <= p%d;", i, i)
+		} else {
+			b.f("  always z%d <= p%d + z%d;", i, i, i+1)
+		}
+	}
+	b.f("  assign y = z0;")
+	b.f("endmodule")
+	return Design{Name: fmt.Sprintf("FIR%d", taps), RTL: b.String(), Datapath: true}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

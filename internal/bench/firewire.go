@@ -1,0 +1,151 @@
+package bench
+
+import "fmt"
+
+// crc32Poly is the IEEE 802.3 polynomial used by IEEE 1394 (Firewire)
+// packet CRCs.
+const crc32Poly = 0x04C11DB7
+
+// crc32Matrix computes, symbolically over GF(2), the new CRC state
+// after shifting in 8 data bits: newCRC[j] = XOR of a subset of the 32
+// old state bits and the 8 data bits. Row j holds a 40-bit mask
+// (bits 0..31 = crc taps, 32..39 = data taps).
+func crc32Matrix() [32]uint64 {
+	// Symbolic state: element k carries the mask of inputs that XOR
+	// into state bit k.
+	var state [32]uint64
+	for k := range state {
+		state[k] = 1 << uint(k)
+	}
+	for bit := 7; bit >= 0; bit-- {
+		din := uint64(1) << uint(32+bit)
+		fb := state[31] ^ din // feedback = crc MSB ⊕ data bit
+		var next [32]uint64
+		for k := 31; k >= 1; k-- {
+			next[k] = state[k-1]
+			if crc32Poly>>uint(k)&1 == 1 {
+				next[k] ^= fb
+			}
+		}
+		next[0] = fb
+		state = next
+	}
+	return state
+}
+
+// Firewire generates a link-layer controller in the spirit of the
+// paper's Firewire benchmark: a bank of configuration/status
+// registers with write decode and read muxes, a parallel CRC-32 unit,
+// three packet/arbitration state machines, and timer counters. It is
+// control- and sequential-logic dominated: most of its area is
+// flip-flops, which is why the paper finds the granular PLB *loses*
+// die area on this design (Sec. 3.2).
+func Firewire(nregs int) Design {
+	lg := log2ceil(nregs)
+	b := &buf{}
+	b.f("module firewire(input clk, input [7:0] din, input we, input [%d:0] waddr,", lg-1)
+	b.f("                input [%d:0] raddr, input go, input abort,", lg-1)
+	b.f("                output [7:0] rdata, output [31:0] crc, output busy, output [3:0] phase, output [31:0] pkt);")
+	// Register file with write decode.
+	for i := 0; i < nregs; i++ {
+		b.f("  reg [7:0] cfg%d;", i)
+		b.f("  always cfg%d <= (we & (waddr == %d'd%d)) ? din : cfg%d;", i, lg, i, i)
+	}
+	// Read mux: a balanced binary tree on the address bits.
+	var readMux func(base, bit int) string
+	readMux = func(base, bit int) string {
+		if bit < 0 {
+			idx := base
+			if idx >= nregs {
+				idx = nregs - 1
+			}
+			return fmt.Sprintf("cfg%d", idx)
+		}
+		lo := readMux(base, bit-1)
+		hi := readMux(base|1<<uint(bit), bit-1)
+		if lo == hi {
+			return lo
+		}
+		return fmt.Sprintf("(raddr[%d] ? (%s) : (%s))", bit, hi, lo)
+	}
+	expr := readMux(0, lg-1)
+	b.f("  reg [7:0] rd;")
+	b.f("  always rd <= %s;", expr)
+	b.f("  assign rdata = rd;")
+	// Parallel CRC-32 over din.
+	b.f("  reg [31:0] c;")
+	mat := crc32Matrix()
+	for j := 0; j < 32; j++ {
+		var terms []string
+		for k := 0; k < 32; k++ {
+			if mat[j]>>uint(k)&1 == 1 {
+				terms = append(terms, fmt.Sprintf("c[%d]", k))
+			}
+		}
+		for k := 0; k < 8; k++ {
+			if mat[j]>>uint(32+k)&1 == 1 {
+				terms = append(terms, fmt.Sprintf("din[%d]", k))
+			}
+		}
+		if len(terms) == 0 {
+			terms = []string{"1'b0"}
+		}
+		b.f("  wire nc%d = %s;", j, joinXor(terms))
+	}
+	ncBits := make([]string, 32)
+	for j := 0; j < 32; j++ {
+		ncBits[31-j] = fmt.Sprintf("nc%d", j)
+	}
+	b.f("  always c <= go ? {%s} : c;", join(ncBits))
+	b.f("  assign crc = c;")
+	// Three interacting state machines (4-bit states).
+	fsm := func(name string, adv, rst string) {
+		b.f("  reg [3:0] %s;", name)
+		b.f("  wire [3:0] %sn = (%s == 4'd9) ? 4'd0 : (%s + 1);", name, name, name)
+		b.f("  always %s <= %s ? 4'd0 : (%s ? %sn : %s);", name, rst, adv, name, name)
+	}
+	fsm("sreq", "go", "abort")
+	fsm("sgnt", "go & (sreq == 4'd3)", "abort")
+	fsm("sdat", "(sgnt == 4'd7) | (sreq == 4'd5)", "abort | (sdat == 4'd8)")
+	// Packet serialization shift registers: FF-heavy with almost no
+	// combinational logic, the hallmark of the design's sequential
+	// dominance.
+	for i := 0; i < nregs; i++ {
+		b.f("  reg [31:0] pkt%d;", i)
+		if i == 0 {
+			b.f("  always pkt0 <= {pkt0[30:0], din[0]};")
+		} else {
+			b.f("  always pkt%d <= {pkt%d[30:0], pkt%d[31]};", i, i, i-1)
+		}
+	}
+	b.f("  wire [31:0] pktout = pkt%d;", nregs-1)
+	// Timers.
+	for i, w := range []int{16, 16, 12, 12} {
+		b.f("  reg [%d:0] tmr%d;", w-1, i)
+		b.f("  always tmr%d <= go ? (tmr%d + 1) : tmr%d;", i, i, i)
+		b.f("  wire texp%d = &tmr%d[%d:%d];", i, i, w-1, w-4)
+	}
+	// Status outputs.
+	b.f("  reg rbusy;")
+	b.f("  always rbusy <= (|sreq | |sgnt | |sdat) & ~abort;")
+	b.f("  assign busy = rbusy;")
+	b.f("  reg [3:0] rphase;")
+	b.f("  always rphase <= texp0 ? sdat : (texp1 ? sgnt : (texp2 ? sreq : rphase));")
+	b.f("  assign phase = rphase;")
+	b.f("  reg [31:0] rpkt;")
+	b.f("  always rpkt <= pktout ^ c;")
+	b.f("  assign pkt = rpkt;")
+	b.f("endmodule")
+	return Design{Name: "Firewire", RTL: b.String(), Datapath: false}
+}
+
+func joinXor(terms []string) string {
+	out := ""
+	for i, t := range terms {
+		if i > 0 {
+			out += " ^ "
+		}
+		out += t
+	}
+	return out
+}

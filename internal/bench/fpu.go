@@ -1,0 +1,123 @@
+package bench
+
+import "fmt"
+
+// FPU generates a pipelined floating-point datapath with an M-bit
+// mantissa: a full adder path (exponent compare, mantissa align via a
+// barrel shifter, add, leading-one normalize) and an array multiplier
+// path (M partial products summed by a balanced adder tree), result
+// selected by op. At M=24 this lands near the paper's ≈24k-gate FPU.
+// Datapath-dominated.
+func FPU(m int) Design {
+	const e = 8 // exponent width
+	lg := log2ceil(m)
+	b := &buf{}
+	b.f("module fpu%d(input clk, input op,", m)
+	b.f("            input [%d:0] ae, input [%d:0] am,", e-1, m-1)
+	b.f("            input [%d:0] be, input [%d:0] bm,", e-1, m-1)
+	b.f("            output [%d:0] ye, output [%d:0] ym, output ovf);", e-1, 2*m-1)
+	// Stage-0 input registers.
+	for _, r := range []struct {
+		name string
+		w    int
+	}{{"rae", e}, {"ram", m}, {"rbe", e}, {"rbm", m}} {
+		b.f("  reg [%d:0] %s;", r.w-1, r.name)
+	}
+	b.f("  reg rop;")
+	b.f("  always rae <= ae;")
+	b.f("  always ram <= am;")
+	b.f("  always rbe <= be;")
+	b.f("  always rbm <= bm;")
+	b.f("  always rop <= op;")
+
+	// ---- Adder path ----
+	// Magnitude compare via extended subtraction: the borrow bit of
+	// {0,rae} - {0,rbe} tells which exponent is larger.
+	b.f("  wire [%d:0] ediff = {1'b0, rae} - {1'b0, rbe};", e)
+	b.f("  wire bgt = ediff[%d];", e)
+	b.f("  wire [%d:0] ediffn = {1'b0, rbe} - {1'b0, rae};", e)
+	b.f("  wire [%d:0] shamt = bgt ? ediffn[%d:0] : ediff[%d:0];", e-1, e-1, e-1)
+	b.f("  wire [%d:0] bigm = bgt ? rbm : ram;", m-1)
+	b.f("  wire [%d:0] smallm = bgt ? ram : rbm;", m-1)
+	b.f("  wire [%d:0] bige = bgt ? rbe : rae;", e-1)
+	// Align: right barrel shift of the smaller mantissa, with
+	// saturation when the shift exceeds the mantissa width.
+	prev := "smallm"
+	for i := 0; i < lg; i++ {
+		b.f("  wire [%d:0] al%d = shamt[%d] ? (%s >> %d) : %s;", m-1, i, i, prev, 1<<uint(i), prev)
+		prev = fmt.Sprintf("al%d", i)
+	}
+	// If any high shamt bit is set the operand vanishes.
+	b.f("  wire bigsh = |shamt[%d:%d];", e-1, lg)
+	b.f("  wire [%d:0] aligned = bigsh ? 0 : %s;", m-1, prev)
+	// Mantissa add with carry.
+	b.f("  wire [%d:0] msum = {1'b0, bigm} + {1'b0, aligned};", m)
+	// Normalize: on carry shift right one and bump the exponent.
+	b.f("  wire [%d:0] norm = msum[%d] ? msum[%d:1] : msum[%d:0];", m-1, m, m, m-1)
+	b.f("  wire [%d:0] esum = msum[%d] ? (bige + 1) : bige;", e-1, m)
+	// Leading-one detector drives a left renormalization shift (only
+	// useful after cancellation; kept shallow: up to 2^lg-1 positions
+	// encoded by priority ternaries).
+	b.f("  wire [%d:0] lz = %s;", lg-1, leadingZeroExpr("norm", m, lg))
+	prev = "norm"
+	for i := 0; i < lg; i++ {
+		b.f("  wire [%d:0] nl%d = lz[%d] ? (%s << %d) : %s;", m-1, i, i, prev, 1<<uint(i), prev)
+		prev = fmt.Sprintf("nl%d", i)
+	}
+	b.f("  wire [%d:0] amant = %s;", m-1, prev)
+	b.f("  wire [%d:0] aexp = esum - {%d'b0, lz};", e-1, e-lg)
+
+	// ---- Multiplier path: array multiplier over the mantissas ----
+	for i := 0; i < m; i++ {
+		b.f("  wire [%d:0] pp%d = rbm[%d] ? ({%d'b0, ram} << %d) : 0;", 2*m-1, i, i, m, i)
+	}
+	// Balanced adder tree.
+	level := make([]string, m)
+	for i := 0; i < m; i++ {
+		level[i] = fmt.Sprintf("pp%d", i)
+	}
+	stage := 0
+	for len(level) > 1 {
+		var next []string
+		for i := 0; i+1 < len(level); i += 2 {
+			name := fmt.Sprintf("t%d_%d", stage, i/2)
+			b.f("  wire [%d:0] %s = %s + %s;", 2*m-1, name, level[i], level[i+1])
+			next = append(next, name)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		stage++
+	}
+	b.f("  wire [%d:0] prod = %s;", 2*m-1, level[0])
+	b.f("  wire [%d:0] mexp = rae + rbe;", e-1)
+
+	// ---- Result select and output registers ----
+	b.f("  reg [%d:0] rye;", e-1)
+	b.f("  reg [%d:0] rym;", 2*m-1)
+	b.f("  reg rovf;")
+	b.f("  always rye <= rop ? mexp : aexp;")
+	b.f("  always rym <= rop ? prod : {%d'b0, amant};", m)
+	b.f("  always rovf <= rop ? prod[%d] : msum[%d];", 2*m-1, m)
+	b.f("  assign ye = rye;")
+	b.f("  assign ym = rym;")
+	b.f("  assign ovf = rovf;")
+	b.f("endmodule")
+	return Design{Name: "FPU", RTL: b.String(), Datapath: true}
+}
+
+// leadingZeroExpr emits a priority-encoded count of leading zeros of
+// sig (width w), clamped to lg bits.
+func leadingZeroExpr(sig string, w, lg int) string {
+	// From MSB down: first set bit at position i gives count w-1-i.
+	expr := fmt.Sprintf("%d'd%d", lg, (1<<uint(lg))-1)
+	for i := 0; i < w; i++ {
+		count := w - 1 - i
+		if count >= 1<<uint(lg) {
+			count = (1 << uint(lg)) - 1
+		}
+		expr = fmt.Sprintf("%s[%d] ? %d'd%d : (%s)", sig, i, lg, count, expr)
+	}
+	return expr
+}

@@ -1,0 +1,126 @@
+package bench
+
+import "fmt"
+
+// Switch generates a P-port, W-bit network switch: per-port input
+// FIFOs (depth D shift queues), per-port parity/length tagging, a full
+// P×P crossbar of mux trees, and a rotating-priority (round-robin)
+// arbiter per output port. At 12 ports × 32 bits it approximates the
+// paper's ≈80k-gate network switch. Datapath-dominated.
+func Switch(p, w, d int) Design {
+	lg := log2ceil(p)
+	b := &buf{}
+	// Ports.
+	b.f("module switch%dx%d(input clk,", p, w)
+	for i := 0; i < p; i++ {
+		b.f("  input [%d:0] in%d,", w-1, i)
+	}
+	for i := 0; i < p; i++ {
+		comma := ","
+		if i == p-1 {
+			comma = ");"
+		}
+		b.f("  output [%d:0] out%d%s", w-1, i, comma)
+	}
+	// Input FIFOs: shift queues.
+	for i := 0; i < p; i++ {
+		for k := 0; k < d; k++ {
+			b.f("  reg [%d:0] q%d_%d;", w-1, i, k)
+		}
+		b.f("  always q%d_0 <= in%d;", i, i)
+		for k := 1; k < d; k++ {
+			b.f("  always q%d_%d <= q%d_%d;", i, k, i, k-1)
+		}
+		b.f("  wire [%d:0] head%d = q%d_%d;", w-1, i, i, d-1)
+		// Per-port tagging: parity and a non-empty flag feed the
+		// arbiter's request vector.
+		b.f("  wire par%d = ^head%d;", i, i)
+		b.f("  wire req%d = |head%d;", i, i)
+	}
+	// Request vector.
+	reqBits := make([]string, p)
+	for i := 0; i < p; i++ {
+		reqBits[p-1-i] = fmt.Sprintf("req%d", i)
+	}
+	b.f("  wire [%d:0] reqs = {%s};", p-1, join(reqBits))
+	// Per-output arbiters and crossbar.
+	for q := 0; q < p; q++ {
+		// Rotating pointer.
+		b.f("  reg [%d:0] ptr%d;", lg-1, q)
+		b.f("  always ptr%d <= ptr%d + 1;", q, q)
+		// Rotate the request vector right by ptr (barrel rotate via
+		// staged mux of shifted copies OR-ed with wraparound).
+		prev := "reqs"
+		for s := 0; s < lg; s++ {
+			sh := 1 << uint(s)
+			b.f("  wire [%d:0] rr%d_%d = ptr%d[%d] ? ((%s >> %d) | (%s << %d)) : %s;",
+				p-1, q, s, q, s, prev, sh, prev, p-sh, prev)
+			prev = fmt.Sprintf("rr%d_%d", q, s)
+		}
+		// Priority encoder over the rotated requests.
+		b.f("  wire [%d:0] pri%d = %s;", lg-1, q, priorityExpr(prev, p, lg))
+		// Grant = pri + ptr (mod 2^lg ≈ P).
+		b.f("  wire [%d:0] gnt%d = pri%d + ptr%d;", lg-1, q, q, q)
+		// Crossbar mux tree selecting head[gnt].
+		b.f("  wire [%d:0] xb%d = %s;", w-1, q, muxTreeExpr(q, p, lg))
+		// Output register, tagged with the granted port's parity.
+		b.f("  wire [%d:0] xpar%d = %s;", p-1, q, parVec(p))
+		b.f("  reg [%d:0] ro%d;", w-1, q)
+		b.f("  always ro%d <= xb%d ^ {%d'b0, xpar%d[0]};", q, q, w-1, q)
+		b.f("  assign out%d = ro%d;", q, q)
+	}
+	b.f("endmodule")
+	return Design{Name: "NetworkSwitch", RTL: b.String(), Datapath: true}
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, s := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}
+
+// priorityExpr encodes the index of the lowest set bit of sig.
+func priorityExpr(sig string, p, lg int) string {
+	expr := fmt.Sprintf("%d'd0", lg)
+	for i := p - 1; i >= 0; i-- {
+		expr = fmt.Sprintf("%s[%d] ? %d'd%d : (%s)", sig, i, lg, i, expr)
+	}
+	return expr
+}
+
+// muxTreeExpr selects head<i> by gnt<q> as a balanced binary mux tree
+// on the grant bits (log-depth, as a synthesis tool would build it).
+func muxTreeExpr(q, p, lg int) string {
+	var rec func(base, bit int) string
+	rec = func(base, bit int) string {
+		if bit < 0 {
+			idx := base
+			if idx >= p {
+				idx = p - 1 // out-of-range grants alias the last port
+			}
+			return fmt.Sprintf("head%d", idx)
+		}
+		lo := rec(base, bit-1)
+		hi := rec(base|1<<uint(bit), bit-1)
+		if base|1<<uint(bit) >= p && lo == hi {
+			return lo
+		}
+		return fmt.Sprintf("(gnt%d[%d] ? (%s) : (%s))", q, bit, hi, lo)
+	}
+	return rec(0, lg-1)
+}
+
+// parVec bundles the per-port parity bits rotated by the grant,
+// exercising additional selection logic per output.
+func parVec(p int) string {
+	parts := make([]string, p)
+	for i := 0; i < p; i++ {
+		parts[p-1-i] = fmt.Sprintf("par%d", i)
+	}
+	return "{" + join(parts) + "}"
+}

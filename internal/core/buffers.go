@@ -1,0 +1,88 @@
+package core
+
+import (
+	"vpga/internal/cells"
+	"vpga/internal/logic"
+	"vpga/internal/netlist"
+)
+
+// maxFanout is the fanout ceiling enforced by buffer insertion; the
+// paper's physical-synthesis stage performs "buffer insertion ... to
+// meet timing constraints" (Sec. 3.1). Keeping every driver under this
+// load bounds the Drive × Cload term at scale.
+const maxFanout = 10
+
+// insertBuffers splits every net with more than maxFanout sinks into a
+// balanced buffer tree. Buffers are absorbed by the PLBs' programmable
+// buffers at packing time; in flow a they are ordinary cells. Returns
+// the number of buffers added.
+func insertBuffers(nl *netlist.Netlist, arch *cells.PLBArch) int {
+	bufTT := logic.VarTT(1, 0)
+	added := 0
+	// Snapshot the node list: we append while iterating.
+	nodes := append([]*netlist.Node(nil), nl.Nodes()...)
+	for _, n := range nodes {
+		switch n.Kind {
+		case netlist.KindGate, netlist.KindDFF, netlist.KindInput:
+		default:
+			continue
+		}
+		outs := append([]netlist.NodeID(nil), nl.Fanouts(n.ID)...)
+		if len(outs) <= maxFanout {
+			continue
+		}
+		// Recursively split the sink list. Sinks that are primary
+		// outputs keep the original driver so port timing stays direct.
+		var build func(sinks []netlist.NodeID) netlist.NodeID
+		build = func(sinks []netlist.NodeID) netlist.NodeID {
+			buf := nl.AddGate("BUF", bufTT, n.ID)
+			added++
+			if len(sinks) <= maxFanout {
+				for _, s := range sinks {
+					retarget(nl, s, n.ID, buf)
+				}
+				return buf
+			}
+			// Group into ≤maxFanout children.
+			per := (len(sinks) + maxFanout - 1) / maxFanout
+			if per < maxFanout {
+				per = maxFanout
+			}
+			var children []netlist.NodeID
+			for i := 0; i < len(sinks); i += per {
+				end := i + per
+				if end > len(sinks) {
+					end = len(sinks)
+				}
+				children = append(children, build(sinks[i:end]))
+			}
+			// Chain the child buffers under this one.
+			for _, c := range children {
+				nl.SetFanin(c, 0, buf)
+			}
+			return buf
+		}
+		var movable []netlist.NodeID
+		for _, s := range outs {
+			if nl.Node(s).Kind == netlist.KindOutput {
+				continue
+			}
+			movable = append(movable, s)
+		}
+		if len(movable) <= maxFanout {
+			continue
+		}
+		build(movable)
+	}
+	return added
+}
+
+// retarget rewires sink's fanin slots reading old to read new.
+func retarget(nl *netlist.Netlist, sink, old, new netlist.NodeID) {
+	node := nl.Node(sink)
+	for i, f := range node.Fanins {
+		if f == old {
+			nl.SetFanin(sink, i, new)
+		}
+	}
+}

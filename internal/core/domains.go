@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vpga/internal/bench"
+	"vpga/internal/cells"
+)
+
+// DomainResult reports, for one application domain (benchmark design),
+// how each candidate PLB architecture performs and which wins.
+type DomainResult struct {
+	Domain string
+	Points []SweepPoint
+	// Best is the architecture minimizing the area-delay product
+	// (die area × post-layout critical delay).
+	Best string
+	// BestAreaDelay is the winning product.
+	BestAreaDelay float64
+}
+
+// DomainExplore runs the paper's proposed future work (Sec. 4:
+// "the optimal combination of these logic elements, and the optimal
+// ratio of combinational to sequential logic elements varies with the
+// application domain. Accordingly, we propose to explore these issues
+// in an application-domain specific manner"): each design stands for a
+// domain, swept across a family of PLB architectures; the winner per
+// domain is chosen by area-delay product.
+func DomainExplore(domains []bench.Design, archs []*cells.PLBArch, seed int64) ([]DomainResult, error) {
+	var out []DomainResult
+	for _, d := range domains {
+		res := DomainResult{Domain: d.Name}
+		clock := 0.0
+		for _, arch := range archs {
+			rep, err := RunFlow(d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("domain %s on %s: %w", d.Name, arch.Name, err)
+			}
+			if clock == 0 {
+				clock = rep.ClockPeriod
+			}
+			pt := SweepPoint{
+				Arch: arch.Name, Slots: arch.SlotSummary(), PLBArea: arch.Area,
+				DieArea: rep.DieArea, AvgTopSlack: rep.AvgTopSlack,
+				UsedPLBs: rep.Rows * rep.Cols,
+			}
+			res.Points = append(res.Points, pt)
+			ad := rep.DieArea * rep.MaxArrival
+			if res.Best == "" || ad < res.BestAreaDelay {
+				res.Best, res.BestAreaDelay = arch.Name, ad
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatDomains renders domain-exploration results.
+func FormatDomains(results []DomainResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Application-domain exploration (Sec. 4 future work): best PLB per domain\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "  %-14s best: %-14s (area×delay %.3e)\n", r.Domain, r.Best, r.BestAreaDelay)
+		for _, p := range r.Points {
+			marker := " "
+			if p.Arch == r.Best {
+				marker = "*"
+			}
+			fmt.Fprintf(&sb, "   %s %-14s die=%9.0f  slack=%9.1f\n", marker, p.Arch, p.DieArea, p.AvgTopSlack)
+		}
+	}
+	return sb.String()
+}

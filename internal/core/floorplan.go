@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vpga/internal/netlist"
+	"vpga/internal/viamap"
+)
+
+// WriteFloorplan renders the packed PLB array as text — the
+// reproduction's stand-in for the paper's GDSII output: an occupancy
+// map of the array, a per-PLB inventory of configuration instances
+// with their via personalizations, and fabric totals.
+func WriteFloorplan(w io.Writer, rep *Report, art *Artifacts) error {
+	if art.Pack == nil {
+		return fmt.Errorf("core: floorplan requires a flow-b run (no PLB array)")
+	}
+	rows, cols := art.Pack.Rows, art.Pack.Cols
+	fmt.Fprintf(w, "# %s on %s: %dx%d PLB array, die area %.0f\n", rep.Design, rep.Arch, rows, cols, rep.DieArea)
+
+	// Occupancy map: instance count per PLB rendered as a digit
+	// (0 = '.', >9 = '*').
+	occ := make([]int, rows*cols)
+	plbInsts := make([][]string, rows*cols)
+	groupSeen := map[int32]int{}
+	for i := range art.Prob.Objs {
+		o := &art.Prob.Objs[i]
+		if o.IsPad {
+			continue
+		}
+		plb := art.Pack.PLBOf[i]
+		if plb < 0 {
+			continue
+		}
+		occ[plb]++
+		for _, nodeID := range o.Nodes {
+			n := art.Impl.Node(nodeID)
+			label := n.Type
+			if n.Kind == netlist.KindDFF {
+				label = "FF"
+			} else if n.Kind == netlist.KindGate && n.Type != "INV" && n.Type != "BUF" {
+				if p, err := viamap.CachedProgram(n.Type, n.Func.Extend(3).Bits); err == nil {
+					label = p.String()
+				}
+			}
+			if n.Group != 0 {
+				if prev, ok := groupSeen[n.Group]; ok && prev == plb {
+					// Second half of an FA macro in the same PLB: one
+					// inventory line covers both outputs.
+					continue
+				}
+				groupSeen[n.Group] = plb
+			}
+			plbInsts[plb] = append(plbInsts[plb], label)
+		}
+	}
+	fmt.Fprintln(w, "# occupancy ('.'=empty, digit=instances, '*'=10+)")
+	for r := rows - 1; r >= 0; r-- {
+		for c := 0; c < cols; c++ {
+			n := occ[r*cols+c]
+			switch {
+			case n == 0:
+				fmt.Fprint(w, ".")
+			case n > 9:
+				fmt.Fprint(w, "*")
+			default:
+				fmt.Fprintf(w, "%d", n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Per-PLB inventory.
+	fmt.Fprintln(w, "# inventory: PLB(row,col): instances")
+	for plb, insts := range plbInsts {
+		if len(insts) == 0 {
+			continue
+		}
+		sort.Strings(insts)
+		fmt.Fprintf(w, "PLB(%d,%d):", plb/cols, plb%cols)
+		for _, s := range insts {
+			fmt.Fprintf(w, " %s", s)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Routing summary with detailed tracks.
+	if art.Routes != nil {
+		ta := art.Routes.AssignTracks()
+		fmt.Fprintf(w, "# routing: wirelength %.0f, logic vias %d, routing vias %d, peak track %d, unassigned %d\n",
+			rep.Wirelength, rep.PopulatedVias, ta.RoutingVias, ta.PeakTrack, ta.Unassigned)
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+// Package core orchestrates the complete VPGA implementation flow of
+// the paper's Figure 6 — RTL → synthesis → technology mapping →
+// regularity-driven compaction → placement → (flow b only) packing
+// into the PLB array → routing → post-layout static timing — and
+// provides the experiment drivers that regenerate every table and
+// figure of the evaluation section.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"vpga/internal/aig"
+	"vpga/internal/bench"
+	"vpga/internal/cells"
+	"vpga/internal/compact"
+	"vpga/internal/netlist"
+	"vpga/internal/pack"
+	"vpga/internal/place"
+	"vpga/internal/power"
+	"vpga/internal/route"
+	"vpga/internal/rtl"
+	"vpga/internal/sta"
+	"vpga/internal/techmap"
+	"vpga/internal/viamap"
+)
+
+// FlowKind selects between the paper's two evaluation flows.
+type FlowKind int
+
+const (
+	// FlowA skips the packing step: a standard-cell-style ASIC flow
+	// using the PLB component library.
+	FlowA FlowKind = iota
+	// FlowB is the full flow producing a legal regular PLB array.
+	FlowB
+)
+
+// String names the flow as in the paper's tables.
+func (f FlowKind) String() string {
+	if f == FlowA {
+		return "flow a"
+	}
+	return "flow b"
+}
+
+// Config parameterizes one flow run.
+type Config struct {
+	Arch *cells.PLBArch
+	Flow FlowKind
+	// ClockPeriod in ps; zero auto-derives 1.2× the pre-layout arrival.
+	ClockPeriod float64
+	Seed        int64
+	// PlaceEffort scales annealing moves per object (default 6).
+	PlaceEffort int
+	// SkipCompaction disables the regularity-driven compaction step
+	// (ablation E4).
+	SkipCompaction bool
+	// Verify runs random simulation equivalence between the RTL
+	// netlist and the final implementation netlist.
+	Verify bool
+}
+
+// Report collects every figure of merit a flow run produces.
+type Report struct {
+	Design string
+	Arch   string
+	Flow   string
+
+	// GateCount is the paper's Table 1/2 "No. of gates": the mapped
+	// netlist area in 2-input-NAND equivalents before compaction.
+	GateCount float64
+	// CompactionReduction is the fractional gate-area reduction of the
+	// compaction step (paper: ~15% average).
+	CompactionReduction float64
+	// DieArea: flow a = placed core area; flow b = PLB array area.
+	DieArea float64
+	Rows    int
+	Cols    int
+	// Utilization is the used-PLB fraction (flow b only).
+	Utilization float64
+	// Perturbation is the packing displacement in PLB pitches (flow b).
+	Perturbation float64
+	Wirelength   float64
+	Overflow     int
+
+	ClockPeriod float64
+	AvgTopSlack float64 // Table 2 metric: average slack, paths 1–10
+	WorstSlack  float64
+	MaxArrival  float64
+
+	ConfigCounts    map[string]int
+	FullAdders      int
+	BuffersInserted int
+	// Via personalization statistics (flow b): populated vias across
+	// the fabric, potential sites per PLB tile, and the SRAM bits an
+	// FPGA-style block would need for the same programmability.
+	PopulatedVias  int
+	ViaSitesPerPLB int
+	// PowerUW is the post-layout switching+leakage power estimate at
+	// the report's clock (µW).
+	PowerUW float64
+	Runtime time.Duration
+}
+
+// Reclock shifts the report's slack figures to a different clock
+// period. Slack differences between endpoints are clock-independent,
+// so the top-10 set and its ordering remain valid.
+func (r *Report) Reclock(newClock float64) {
+	delta := newClock - r.ClockPeriod
+	r.ClockPeriod = newClock
+	r.AvgTopSlack += delta
+	r.WorstSlack += delta
+}
+
+// Artifacts carries the physical results of a flow run for tools that
+// need more than the report (floorplan writers, via-map dumps).
+type Artifacts struct {
+	Impl   *netlist.Netlist
+	Prob   *place.Problem
+	Pack   *pack.Result
+	Routes *route.Result
+}
+
+// RunFlow pushes one design through the flow.
+func RunFlow(d bench.Design, cfg Config) (*Report, error) {
+	rep, _, err := RunFlowFull(d, cfg)
+	return rep, err
+}
+
+// RunFlowFull is RunFlow returning the physical artifacts as well.
+func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
+	start := time.Now()
+	if cfg.PlaceEffort == 0 {
+		cfg.PlaceEffort = 6
+	}
+	rep := &Report{Design: d.Name, Arch: cfg.Arch.Name, Flow: cfg.Flow.String()}
+
+	// Synthesis front end.
+	rtlNet, err := compileRTL(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	des, err := aig.FromNetlist(rtlNet)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", d.Name, err)
+	}
+	des.Optimize(3)
+
+	// Delay-oriented technology mapping to the component library; the
+	// compaction step is the area-recovery stage, as in the paper.
+	mapped, err := techmap.Map(des, cfg.Arch, techmap.Options{AreaPasses: 1})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: map: %w", d.Name, err)
+	}
+	rep.GateCount = mapped.Area
+
+	// Regularity-driven logic compaction.
+	impl := mapped.Netlist
+	if !cfg.SkipCompaction {
+		cres, err := compact.Run(mapped.Netlist, cfg.Arch)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s: compact: %w", d.Name, err)
+		}
+		impl = cres.Netlist
+		rep.CompactionReduction = cres.Reduction()
+		rep.ConfigCounts = cres.ConfigCounts
+		rep.FullAdders = cres.FullAdders
+	} else {
+		// Uncompacted component netlists still need configuration types
+		// for packing: wrap each component cell as its identity config.
+		impl, err = identityConfigs(mapped.Netlist, cfg.Arch)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Physical synthesis: fanout-driven buffer insertion (Sec. 3.1's
+	// "buffer insertion ... to meet timing constraints").
+	rep.BuffersInserted = insertBuffers(impl, cfg.Arch)
+
+	if cfg.Verify {
+		if err := netlist.Equivalent(rtlNet, impl, 8, 4, cfg.Seed+77); err != nil {
+			return nil, nil, fmt.Errorf("core: %s: implementation not equivalent: %w", d.Name, err)
+		}
+	}
+
+	art := &Artifacts{Impl: impl}
+
+	// ASIC-style placement (physical synthesis).
+	prob, err := place.Build(impl, place.ArchArea(cfg.Arch), place.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: place: %w", d.Name, err)
+	}
+	prob.Anneal(place.Options{Seed: cfg.Seed, MovesPerObj: cfg.PlaceEffort})
+
+	// Pre-layout timing for net weighting and the provisional clock.
+	pre, err := sta.Analyze(impl, cfg.Arch, nil, nil, sta.Options{ClockPeriod: cfg.ClockPeriod})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: pre-layout sta: %w", d.Name, err)
+	}
+	clock := cfg.ClockPeriod
+	if clock == 0 {
+		clock = 1.2 * pre.MaxArrival
+	}
+	rep.ClockPeriod = clock
+	for ni, w := range sta.NetWeights(impl, prob, pre, clock, 4) {
+		prob.SetNetWeight(ni, w)
+	}
+	prob.Refine(0.10, 3, cfg.Seed+3)
+
+	// Flow b: pack into the regular PLB array.
+	if cfg.Flow == FlowB {
+		crit := sta.ObjCriticality(impl, prob, pre, clock)
+		pres, err := pack.Run(impl, cfg.Arch, prob, pack.Options{Seed: cfg.Seed, Criticality: crit})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s: pack: %w", d.Name, err)
+		}
+		art.Pack = pres
+		rep.Rows, rep.Cols = pres.Rows, pres.Cols
+		rep.DieArea = pres.DieArea
+		rep.Utilization = pres.Utilization()
+		rep.Perturbation = pres.Perturbation
+		// Via personalization of the packed fabric.
+		if vrep, err := viamap.FabricVias(impl, cfg.Arch); err == nil {
+			rep.PopulatedVias = vrep.PopulatedVias
+			rep.ViaSitesPerPLB = vrep.PotentialPerPLB
+		} else {
+			return nil, nil, fmt.Errorf("core: %s: viamap: %w", d.Name, err)
+		}
+	} else {
+		rep.DieArea = prob.W * prob.H
+	}
+
+	// ASIC-style global routing over the array / core.
+	routes, err := route.Route(prob, route.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: route: %w", d.Name, err)
+	}
+	art.Prob = prob
+	art.Routes = routes
+	rep.Wirelength = routes.Total
+	rep.Overflow = routes.Overflow
+
+	// Post-layout static timing.
+	post, err := sta.Analyze(impl, cfg.Arch, prob, routes, sta.Options{ClockPeriod: clock})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: post-layout sta: %w", d.Name, err)
+	}
+	rep.AvgTopSlack = post.AvgTopSlack
+	rep.WorstSlack = post.WorstSlack
+	rep.MaxArrival = post.MaxArrival
+
+	// Post-layout power at the run's clock.
+	if pw, err := power.Estimate(impl, cfg.Arch, prob, routes, power.Options{ClockPS: clock}); err == nil {
+		rep.PowerUW = pw.TotalUW
+	} else {
+		return nil, nil, fmt.Errorf("core: %s: power: %w", d.Name, err)
+	}
+	rep.Runtime = time.Since(start)
+	return rep, art, nil
+}
+
+// compileRTL caches elaborated benchmark netlists: paper-scale designs
+// are elaborated once per process.
+var rtlCache = map[string]*netlist.Netlist{}
+
+func compileRTL(d bench.Design) (*netlist.Netlist, error) {
+	if nl, ok := rtlCache[d.RTL]; ok {
+		return nl.Clone(), nil
+	}
+	nl, err := rtl.Compile(d.RTL)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: rtl: %w", d.Name, err)
+	}
+	rtlCache[d.RTL] = nl
+	return nl.Clone(), nil
+}
+
+// identityConfigs retypes component cells as their identity
+// configurations so the packer can process an uncompacted netlist.
+func identityConfigs(nl *netlist.Netlist, arch *cells.PLBArch) (*netlist.Netlist, error) {
+	out := nl.Clone()
+	for _, n := range out.Nodes() {
+		if n.Kind != netlist.KindGate || n.Type == "INV" || n.Type == "BUF" {
+			continue
+		}
+		cfgs := arch.ConfigsFor(n.Func)
+		if len(cfgs) == 0 {
+			return nil, fmt.Errorf("core: no identity config for %s %v", n.Type, n.Func)
+		}
+		// Smallest config implementing the function.
+		best := cfgs[0]
+		for _, c := range cfgs {
+			if c.Area < best.Area {
+				best = c
+			}
+		}
+		n.Type = best.Name
+	}
+	return out, nil
+}
+
+// summary renders a one-line report.
+func (r *Report) summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %-13s %-7s die=%9.0f slack=%8.1f gates=%8.0f",
+		r.Design, r.Arch, r.Flow, r.DieArea, r.AvgTopSlack, r.GateCount)
+	if r.Rows > 0 {
+		fmt.Fprintf(&sb, " array=%dx%d util=%.0f%%", r.Rows, r.Cols, 100*r.Utilization)
+	}
+	return sb.String()
+}
+
+// sortedKeys is shared by the table printers.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

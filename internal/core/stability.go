@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vpga/internal/bench"
+)
+
+// ClaimStats aggregates the derived claims over several seeds: mean,
+// minimum and maximum of each headline number, so the reproduction
+// reports stability rather than a single lucky draw.
+type ClaimStats struct {
+	Seeds  []int64
+	Runs   []Claims
+	Labels []string
+	Mean   []float64
+	Min    []float64
+	Max    []float64
+}
+
+// claimVector flattens the stable numeric fields of a Claims.
+func claimVector(c Claims) ([]float64, []string) {
+	return []float64{
+			100 * c.AvgDatapathDieReduction,
+			100 * c.AvgPackingOverheadReduction,
+			100 * c.AvgSlackImprovement,
+			100 * c.AvgPerfDegradationReduction,
+			c.FirewireAreaRatio,
+		}, []string{
+			"datapath die-area reduction %",
+			"packing-overhead reduction %",
+			"slack improvement (% of clock)",
+			"perf-degradation reduction %",
+			"Firewire area ratio",
+		}
+}
+
+// StabilityStudy runs the full matrix once per seed and aggregates the
+// claims.
+func StabilityStudy(suite bench.Suite, seeds []int64, effort int, progress func(string)) (*ClaimStats, error) {
+	st := &ClaimStats{Seeds: seeds}
+	for _, seed := range seeds {
+		m, err := RunMatrix(suite, MatrixOptions{Seed: seed, PlaceEffort: effort, Progress: progress})
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		st.Runs = append(st.Runs, m.DeriveClaims())
+	}
+	for i, c := range st.Runs {
+		vec, labels := claimVector(c)
+		if i == 0 {
+			st.Labels = labels
+			st.Mean = make([]float64, len(vec))
+			st.Min = append([]float64(nil), vec...)
+			st.Max = append([]float64(nil), vec...)
+		}
+		for k, v := range vec {
+			st.Mean[k] += v
+			if v < st.Min[k] {
+				st.Min[k] = v
+			}
+			if v > st.Max[k] {
+				st.Max[k] = v
+			}
+		}
+	}
+	for k := range st.Mean {
+		st.Mean[k] /= float64(len(st.Runs))
+	}
+	return st, nil
+}
+
+// String renders the study.
+func (st *ClaimStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Stability over %d seeds %v:\n", len(st.Seeds), st.Seeds)
+	fmt.Fprintf(&sb, "  %-34s %10s %10s %10s\n", "claim", "mean", "min", "max")
+	for k, label := range st.Labels {
+		fmt.Fprintf(&sb, "  %-34s %10.2f %10.2f %10.2f\n", label, st.Mean[k], st.Min[k], st.Max[k])
+	}
+	return sb.String()
+}

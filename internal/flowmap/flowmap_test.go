@@ -1,0 +1,329 @@
+package flowmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"vpga/internal/aig"
+)
+
+func TestDinicBasic(t *testing.T) {
+	// Classic 4-node diamond: s=0, t=3; two disjoint paths of cap 1.
+	g := NewDinic(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	if f := g.MaxFlow(0, 3, -1); f != 2 {
+		t.Fatalf("flow = %d, want 2", f)
+	}
+}
+
+func TestDinicBottleneck(t *testing.T) {
+	// s -> a (cap 5), a -> b (cap 2), b -> t (cap 9): flow 2.
+	g := NewDinic(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 9)
+	if f := g.MaxFlow(0, 3, -1); f != 2 {
+		t.Fatalf("flow = %d, want 2", f)
+	}
+	reach := g.ResidualReachable(0)
+	if !reach[0] || !reach[1] || reach[2] || reach[3] {
+		t.Fatalf("residual reachability wrong: %v", reach)
+	}
+}
+
+func TestDinicEarlyTermination(t *testing.T) {
+	// 10 parallel unit paths; limit 3 must stop early with flow > 3.
+	g := NewDinic(12)
+	for i := 0; i < 10; i++ {
+		g.AddEdge(0, 2+i, 1)
+		g.AddEdge(2+i, 1, 1)
+	}
+	f := g.MaxFlow(0, 1, 3)
+	if f <= 3 {
+		t.Fatalf("flow = %d, expected witness > 3", f)
+	}
+}
+
+// chainGraph builds fanins for a linear chain 0 <- 1 <- 2 ... (node i
+// reads node i-1); node 0 is the source.
+func chainFanins(n int) func(int) []int {
+	return func(i int) []int {
+		if i == 0 {
+			return nil
+		}
+		return []int{i - 1}
+	}
+}
+
+func TestFindKCutChain(t *testing.T) {
+	fanins := chainFanins(10)
+	isLeaf := func(n int) bool { return n == 0 }
+	res, ok := FindKCut(9, 3, 100, fanins, isLeaf)
+	if !ok {
+		t.Fatal("chain must have a 1-feasible cut")
+	}
+	if len(res.Leaves) != 1 || res.Leaves[0] != 0 {
+		t.Fatalf("leaves = %v, want [0]", res.Leaves)
+	}
+	if len(res.Cluster) != 9 {
+		t.Fatalf("cluster size = %d, want 9", len(res.Cluster))
+	}
+}
+
+func TestFindKCutInfeasible(t *testing.T) {
+	// A node reading 5 distinct sources has no 3-feasible cut.
+	fanins := func(n int) []int {
+		if n == 5 {
+			return []int{0, 1, 2, 3, 4}
+		}
+		return nil
+	}
+	isLeaf := func(n int) bool { return n < 5 }
+	if _, ok := FindKCut(5, 3, 100, fanins, isLeaf); ok {
+		t.Fatal("5-input node reported 3-feasible")
+	}
+	if res, ok := FindKCut(5, 5, 100, fanins, isLeaf); !ok || len(res.Leaves) != 5 {
+		t.Fatalf("5-input node must be 5-feasible: %v %v", res, ok)
+	}
+}
+
+func TestFindKCutReconvergence(t *testing.T) {
+	// Diamond: root 4 reads 2 and 3; both read 1; 1 reads 0.
+	// The 1-cut {1} exists even though root has 2 fanins.
+	fanins := func(n int) []int {
+		switch n {
+		case 4:
+			return []int{2, 3}
+		case 2, 3:
+			return []int{1}
+		case 1:
+			return []int{0}
+		}
+		return nil
+	}
+	isLeaf := func(n int) bool { return n == 0 }
+	res, ok := FindKCut(4, 1, 100, fanins, isLeaf)
+	if !ok {
+		t.Fatal("diamond must have a 1-feasible cut")
+	}
+	if len(res.Leaves) != 1 {
+		t.Fatalf("leaves = %v, want a single node", res.Leaves)
+	}
+	// Cut at node 1 or node 0 both valid; cluster must contain root.
+	found := false
+	for _, c := range res.Cluster {
+		if c == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cluster missing root")
+	}
+}
+
+// randomAIG builds a random AIG with the given PI count and AND count.
+func randomAIG(pis, ands int, seed int64) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	g := aig.New()
+	var lits []aig.Lit
+	for i := 0; i < pis; i++ {
+		lits = append(lits, g.AddPI())
+	}
+	for i := 0; i < ands; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		lits = append(lits, g.And(a, b))
+	}
+	g.AddPO(lits[len(lits)-1])
+	return g
+}
+
+func aigFanins(g *aig.AIG) func(int) []int {
+	return func(n int) []int {
+		if !g.IsAnd(n) {
+			return nil
+		}
+		f0, f1 := g.Fanins(n)
+		return []int{f0.Node(), f1.Node()}
+	}
+}
+
+func aigTopo(g *aig.AIG) []int {
+	topo := make([]int, g.NumNodes())
+	for i := range topo {
+		topo[i] = i // AIG node indexes are already topological
+	}
+	return topo
+}
+
+func TestLabelsOnAIG(t *testing.T) {
+	g := randomAIG(8, 200, 7)
+	isSource := func(n int) bool { return !g.IsAnd(n) }
+	lab := Labels(aigTopo(g), g.NumNodes(), 3, 400, aigFanins(g), isSource)
+	// Labels must be positive for AND nodes, monotone along edges, and
+	// every stored cut must be ≤ K and actually cut the cone.
+	for n := 1; n < g.NumNodes(); n++ {
+		if !g.IsAnd(n) {
+			if lab.Label[n] != 0 {
+				t.Fatalf("source %d labeled %d", n, lab.Label[n])
+			}
+			continue
+		}
+		if lab.Label[n] < 1 {
+			t.Fatalf("AND %d labeled %d", n, lab.Label[n])
+		}
+		for _, f := range aigFanins(g)(n) {
+			if lab.Label[f] > lab.Label[n] {
+				t.Fatalf("label not monotone: %d(%d) reads %d(%d)", n, lab.Label[n], f, lab.Label[f])
+			}
+		}
+		cut := lab.Cut[n]
+		if len(cut) == 0 || len(cut) > 3 {
+			t.Fatalf("node %d has cut of size %d", n, len(cut))
+		}
+		verifyCut(t, n, cut, aigFanins(g))
+	}
+}
+
+// verifyCut checks that removing the cut nodes disconnects root from
+// all sources.
+func verifyCut(t *testing.T, root int, cut []int, fanins func(int) []int) {
+	t.Helper()
+	inCut := map[int]bool{}
+	for _, c := range cut {
+		inCut[c] = true
+	}
+	var walk func(n int)
+	walk = func(n int) {
+		if inCut[n] {
+			return
+		}
+		fi := fanins(n)
+		if len(fi) == 0 {
+			t.Fatalf("cut %v of root %d misses a path to source %d", cut, root, n)
+		}
+		for _, f := range fi {
+			walk(f)
+		}
+	}
+	walk(root)
+}
+
+func TestLabelsMatchDepthBound(t *testing.T) {
+	// A balanced 8-input AND tree has AND-depth 3. With K=3: level-1
+	// ANDs get label 1; level-2 ANDs are 4-input cones (label 2); the
+	// root's every 3-feasible cut contains a label-2 node (the 4
+	// level-1 nodes alone would be a 4-cut), so the optimal root label
+	// is exactly 3 — FlowMap must achieve it.
+	g := aig.New()
+	var lits []aig.Lit
+	for i := 0; i < 8; i++ {
+		lits = append(lits, g.AddPI())
+	}
+	for len(lits) > 1 {
+		var next []aig.Lit
+		for i := 0; i+1 < len(lits); i += 2 {
+			next = append(next, g.And(lits[i], lits[i+1]))
+		}
+		lits = next
+	}
+	root := lits[0]
+	g.AddPO(root)
+	isSource := func(n int) bool { return !g.IsAnd(n) }
+	lab := Labels(aigTopo(g), g.NumNodes(), 3, 400, aigFanins(g), isSource)
+	if got := lab.Label[root.Node()]; got != 3 {
+		t.Fatalf("8-AND tree root label = %d, want exactly 3", got)
+	}
+	cover := lab.Cover([]int{root.Node()}, isSource)
+	if len(cover) == 0 {
+		t.Fatal("empty cover")
+	}
+	for r, leaves := range cover {
+		if len(leaves) > 3 {
+			t.Fatalf("cover root %d has %d leaves", r, len(leaves))
+		}
+	}
+}
+
+func TestCoverReachesSources(t *testing.T) {
+	g := randomAIG(6, 80, 3)
+	isSource := func(n int) bool { return !g.IsAnd(n) }
+	lab := Labels(aigTopo(g), g.NumNodes(), 3, 300, aigFanins(g), isSource)
+	root := g.PO(0).Node()
+	if isSource(root) {
+		t.Skip("degenerate random graph")
+	}
+	cover := lab.Cover([]int{root}, isSource)
+	// Every cover leaf is either a source or itself covered.
+	for r, leaves := range cover {
+		for _, l := range leaves {
+			if isSource(l) {
+				continue
+			}
+			if _, ok := cover[l]; !ok {
+				t.Fatalf("leaf %d of cluster %d not covered", l, r)
+			}
+		}
+	}
+}
+
+func TestDinicZeroFlow(t *testing.T) {
+	g := NewDinic(2)
+	if f := g.MaxFlow(0, 1, -1); f != 0 {
+		t.Fatalf("disconnected flow = %d", f)
+	}
+	reach := g.ResidualReachable(0)
+	if !reach[0] || reach[1] {
+		t.Fatal("reachability wrong on empty graph")
+	}
+}
+
+func TestDinicParallelEdges(t *testing.T) {
+	g := NewDinic(2)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 1, 3)
+	if f := g.MaxFlow(0, 1, -1); f != 5 {
+		t.Fatalf("parallel edges flow = %d, want 5", f)
+	}
+}
+
+func TestFindKCutRootIsLeaf(t *testing.T) {
+	fanins := func(int) []int { return nil }
+	isLeaf := func(int) bool { return true }
+	if _, ok := FindKCut(0, 3, 10, fanins, isLeaf); ok {
+		t.Fatal("leaf root produced a cut")
+	}
+}
+
+func TestFindKCutConeBoundTruncation(t *testing.T) {
+	// A long chain with a tiny cone bound: the cut must still be valid
+	// (truncation points become leaves).
+	fanins := chainFanins(100)
+	isLeaf := func(n int) bool { return n == 0 }
+	res, ok := FindKCut(99, 3, 5, fanins, isLeaf)
+	if !ok {
+		t.Fatal("bounded cone found no cut")
+	}
+	verifyCut(t, 99, res.Leaves, fanins)
+}
+
+func TestLabelsSingleNode(t *testing.T) {
+	// Graph: node 1 reads node 0 (source).
+	fanins := func(n int) []int {
+		if n == 1 {
+			return []int{0}
+		}
+		return nil
+	}
+	isSource := func(n int) bool { return n == 0 }
+	lab := Labels([]int{0, 1}, 2, 3, 10, fanins, isSource)
+	if lab.Label[1] != 1 {
+		t.Fatalf("label = %d, want 1", lab.Label[1])
+	}
+	if len(lab.Cut[1]) != 1 || lab.Cut[1][0] != 0 {
+		t.Fatalf("cut = %v", lab.Cut[1])
+	}
+}

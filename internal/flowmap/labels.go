@@ -1,0 +1,190 @@
+package flowmap
+
+import "sort"
+
+// Labeling is the result of the FlowMap label computation over a
+// combinational DAG.
+type Labeling struct {
+	// Label[n] is the minimum K-LUT depth of node n (0 for sources).
+	Label []int
+	// Cut[n] is the min-height K-feasible cut realizing Label[n]
+	// (nil for sources).
+	Cut [][]int
+}
+
+// Labels runs the FlowMap labeling phase: for every node in topological
+// order it computes the minimum depth achievable by a K-feasible cut,
+// using the p-vs-p+1 max-flow feasibility test of Cong & Ding. maxCone
+// bounds the per-node cone exploration; beyond it the label may be
+// conservatively overestimated (cuts remain valid).
+func Labels(topo []int, numNodes, K, maxCone int, fanins func(int) []int, isSource func(int) bool) *Labeling {
+	lab := &Labeling{Label: make([]int, numNodes), Cut: make([][]int, numNodes)}
+	for _, t := range topo {
+		if isSource(t) {
+			lab.Label[t] = 0
+			continue
+		}
+		fi := fanins(t)
+		p := 0
+		for _, f := range fi {
+			if lab.Label[f] > p {
+				p = lab.Label[f]
+			}
+		}
+		if cut, ok := lab.collapseTest(t, p, K, maxCone, fanins, isSource); ok {
+			lab.Label[t] = p
+			lab.Cut[t] = cut
+			continue
+		}
+		lab.Label[t] = p + 1
+		cut := append([]int(nil), fi...)
+		sort.Ints(cut)
+		lab.Cut[t] = dedupInts(cut)
+	}
+	return lab
+}
+
+// collapseTest checks whether node t admits a K-feasible cut of height
+// p: all cone nodes labeled p are collapsed into t (they must end up on
+// the sink side), and the collapsed network is tested for a node cut of
+// size ≤ K.
+func (lab *Labeling) collapseTest(t, p, K, maxCone int, fanins func(int) []int, isSource func(int) bool) ([]int, bool) {
+	// Bounded cone collection.
+	cone := map[int]bool{t: true}
+	leaf := map[int]bool{}
+	frontier := []int{t}
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, f := range fanins(n) {
+			if cone[f] || leaf[f] {
+				continue
+			}
+			if isSource(f) || len(cone)+len(leaf) >= maxCone {
+				leaf[f] = true
+				continue
+			}
+			cone[f] = true
+			frontier = append(frontier, f)
+		}
+	}
+	// A cut realizing height p may only contain nodes labeled ≤ p-1.
+	// Any leaf labeled ≥ p sits on some source-to-root path whose only
+	// cut candidates at or above it are labeled ≥ p (labels are
+	// monotone along edges), so such a leaf makes height p infeasible.
+	// In particular p == 0 is always infeasible: primary-input leaves
+	// carry label 0.
+	for n := range leaf {
+		if lab.Label[n] >= p {
+			return nil, false
+		}
+	}
+	if len(leaf) <= K {
+		return sortedKeys(leaf), true
+	}
+	collapsed := map[int]bool{t: true}
+	for n := range cone {
+		if lab.Label[n] == p {
+			collapsed[n] = true
+		}
+	}
+	id := map[int]int{}
+	for n := range cone {
+		if !collapsed[n] {
+			id[n] = len(id)
+		}
+	}
+	for n := range leaf {
+		id[n] = len(id)
+	}
+	din := func(n int) int { return 2 + 2*id[n] }
+	dout := func(n int) int { return 3 + 2*id[n] }
+	g := NewDinic(2 + 2*len(id))
+	const S, T = 0, 1
+	for n := range leaf {
+		g.AddEdge(S, din(n), Inf)
+		g.AddEdge(din(n), dout(n), 1)
+	}
+	outOf := func(n int) (int, bool) {
+		if collapsed[n] {
+			return 0, false // edges into collapsed nodes go to T
+		}
+		return dout(n), true
+	}
+	for n := range cone {
+		if !collapsed[n] {
+			g.AddEdge(din(n), dout(n), 1)
+		}
+		for _, f := range fanins(n) {
+			if !cone[f] && !leaf[f] {
+				continue
+			}
+			src, ok := outOf(f)
+			if !ok {
+				continue // collapsed→x edges are internal to the sink side... skip: f collapsed feeding n
+			}
+			if collapsed[n] {
+				g.AddEdge(src, T, Inf)
+			} else {
+				g.AddEdge(src, din(n), Inf)
+			}
+		}
+	}
+	flow := g.MaxFlow(S, T, int64(K))
+	if flow > int64(K) {
+		return nil, false
+	}
+	reach := g.ResidualReachable(S)
+	var cut []int
+	for n := range id {
+		if reach[din(n)] && !reach[dout(n)] {
+			cut = append(cut, n)
+		}
+	}
+	sort.Ints(cut)
+	return cut, true
+}
+
+// Cover derives a LUT-style covering from the labeling: starting at the
+// given roots, each chosen node is realized by its stored cut and the
+// cut leaves become new roots. It returns, for every chosen cluster
+// root, the cut leaves.
+func (lab *Labeling) Cover(roots []int, isSource func(int) bool) map[int][]int {
+	cover := map[int][]int{}
+	var stack []int
+	for _, r := range roots {
+		stack = append(stack, r)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if isSource(n) {
+			continue
+		}
+		if _, done := cover[n]; done {
+			continue
+		}
+		cut := lab.Cut[n]
+		cover[n] = cut
+		for _, f := range cut {
+			stack = append(stack, f)
+		}
+	}
+	return cover
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := keys(m)
+	sort.Ints(out)
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package logic
+
+import "sort"
+
+// NPNTransform records how a function was mapped to its NPN
+// representative: out = representative(in) is obtained from the
+// original f by permuting inputs with Perm, complementing the inputs
+// flagged in InputNeg, and complementing the output if OutputNeg.
+type NPNTransform struct {
+	Perm      []int // Perm[i] = original input feeding position i
+	InputNeg  uint  // bit i set: input i of the representative is negated
+	OutputNeg bool
+}
+
+// ApplyNPN applies the transform to t: first permutes inputs, then
+// negates the flagged inputs, then the output. It is the operation
+// whose result NPNCanon minimizes over.
+func ApplyNPN(t TT, tr NPNTransform) TT {
+	r := t.PermuteInputs(tr.Perm)
+	for i := 0; i < t.N; i++ {
+		if tr.InputNeg>>uint(i)&1 == 1 {
+			r = r.NegateInput(i)
+		}
+	}
+	if tr.OutputNeg {
+		r = r.Not()
+	}
+	return r
+}
+
+// permutations returns all permutations of 0..n-1. n is at most
+// MaxInputs, and callers only use n ≤ 4 in practice.
+func permutations(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make([]int, n)
+			copy(cp, base)
+			out = append(out, cp)
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// NPNCanon returns the lexicographically smallest table in the NPN
+// class of t (all input permutations, input complementations, and
+// output complementation), along with one transform achieving it.
+// Exhaustive: intended for N ≤ 4 where the orbit is at most 768
+// transforms.
+func NPNCanon(t TT) (TT, NPNTransform) {
+	best := t
+	bestTr := NPNTransform{Perm: identityPerm(t.N)}
+	for _, p := range permutations(t.N) {
+		perm := t.PermuteInputs(p)
+		for neg := uint(0); neg < 1<<uint(t.N); neg++ {
+			cand := perm
+			for i := 0; i < t.N; i++ {
+				if neg>>uint(i)&1 == 1 {
+					cand = cand.NegateInput(i)
+				}
+			}
+			for _, on := range []bool{false, true} {
+				c := cand
+				if on {
+					c = c.Not()
+				}
+				if c.Bits < best.Bits {
+					best = c
+					bestTr = NPNTransform{Perm: append([]int(nil), p...), InputNeg: neg, OutputNeg: on}
+				}
+			}
+		}
+	}
+	return best, bestTr
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// NPNClass enumerates every table NPN-equivalent to t (the full orbit,
+// deduplicated and sorted by bits). Useful for building matching sets
+// for programmable cells.
+func NPNClass(t TT) []TT {
+	seen := map[uint64]bool{}
+	var out []TT
+	for _, p := range permutations(t.N) {
+		perm := t.PermuteInputs(p)
+		for neg := uint(0); neg < 1<<uint(t.N); neg++ {
+			cand := perm
+			for i := 0; i < t.N; i++ {
+				if neg>>uint(i)&1 == 1 {
+					cand = cand.NegateInput(i)
+				}
+			}
+			for _, on := range []bool{false, true} {
+				c := cand
+				if on {
+					c = c.Not()
+				}
+				if !seen[c.Bits] {
+					seen[c.Bits] = true
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bits < out[j].Bits })
+	return out
+}
+
+// PClass enumerates the orbit of t under input permutation and input
+// complementation only (no output complementation).
+func PClass(t TT) []TT {
+	seen := map[uint64]bool{}
+	var out []TT
+	for _, p := range permutations(t.N) {
+		perm := t.PermuteInputs(p)
+		for neg := uint(0); neg < 1<<uint(t.N); neg++ {
+			cand := perm
+			for i := 0; i < t.N; i++ {
+				if neg>>uint(i)&1 == 1 {
+					cand = cand.NegateInput(i)
+				}
+			}
+			if !seen[cand.Bits] {
+				seen[cand.Bits] = true
+				out = append(out, cand)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bits < out[j].Bits })
+	return out
+}

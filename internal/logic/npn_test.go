@@ -1,0 +1,121 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNPNCanonIsClassInvariant(t *testing.T) {
+	// Every member of an NPN orbit must canonicalize to the same table.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		f := NewTT(3, rng.Uint64())
+		canon, _ := NPNCanon(f)
+		for _, g := range NPNClass(f) {
+			c, _ := NPNCanon(g)
+			if c != canon {
+				t.Fatalf("NPN canon not invariant: f=%v g=%v canon %v vs %v", f, g, c, canon)
+			}
+		}
+	}
+}
+
+func TestNPNTransformReproducesCanon(t *testing.T) {
+	err := quick.Check(func(bits uint64) bool {
+		f := NewTT(3, bits)
+		canon, tr := NPNCanon(f)
+		return ApplyNPN(f, tr) == canon
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNPNCanonIsMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		f := NewTT(3, rng.Uint64())
+		canon, _ := NPNCanon(f)
+		for _, g := range NPNClass(f) {
+			if g.Bits < canon.Bits {
+				t.Fatalf("found smaller class member %v than canon %v", g, canon)
+			}
+		}
+	}
+}
+
+func TestNPNClassOfXor3(t *testing.T) {
+	// XOR3's NPN class is exactly {XOR3, XNOR3}: it is invariant under
+	// input permutation, and any input/output negation toggles parity.
+	class := NPNClass(TTXor3)
+	if len(class) != 2 {
+		t.Fatalf("XOR3 NPN class size = %d, want 2", len(class))
+	}
+	seen := map[uint64]bool{}
+	for _, g := range class {
+		seen[g.Bits] = true
+	}
+	if !seen[TTXor3.Bits] || !seen[TTXnor3.Bits] {
+		t.Fatalf("XOR3 class = %v", class)
+	}
+}
+
+func TestNPNClassSizesPartition(t *testing.T) {
+	// The NPN classes of all 256 3-input functions partition the space.
+	seen := map[uint64]uint64{} // function -> canon
+	classCount := map[uint64]int{}
+	for bits := uint64(0); bits < 256; bits++ {
+		c, _ := NPNCanon(NewTT(3, bits))
+		seen[bits] = c.Bits
+		classCount[c.Bits]++
+	}
+	total := 0
+	for _, n := range classCount {
+		total += n
+	}
+	if total != 256 {
+		t.Fatalf("classes cover %d functions, want 256", total)
+	}
+	// There are exactly 14 NPN classes of 3-input functions (10 with
+	// full support plus classes of smaller support), a classic result.
+	if len(classCount) != 14 {
+		t.Fatalf("found %d NPN classes of 3-input functions, want 14", len(classCount))
+	}
+	// Sanity: class assignment is a function of the orbit.
+	for bits, canon := range seen {
+		f := NewTT(3, bits)
+		for _, g := range NPNClass(f)[:1] {
+			if seen[g.Bits] != canon {
+				t.Fatalf("orbit member maps to different canon")
+			}
+		}
+	}
+}
+
+func TestPClassExcludesOutputNegation(t *testing.T) {
+	// AND2's P-class (input perm + neg only) has the 4 AND-family
+	// functions; output negation doubles it to the 8-member NPN class
+	// (adding the NAND family, equivalently the OR family by De Morgan).
+	p := PClass(TTAnd2)
+	if len(p) != 4 {
+		t.Fatalf("AND2 P-class size = %d, want 4", len(p))
+	}
+	n := NPNClass(TTAnd2)
+	if len(n) != 8 {
+		t.Fatalf("AND2 NPN-class size = %d, want 8", len(n))
+	}
+	// XOR2: P-class is {XOR2, XNOR2} (negating one input complements
+	// the output), NPN class the same.
+	if got := len(PClass(TTXor2)); got != 2 {
+		t.Fatalf("XOR2 P-class size = %d, want 2", got)
+	}
+}
+
+func TestPermutationsCount(t *testing.T) {
+	for n, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 6, 4: 24} {
+		if got := len(permutations(n)); got != want {
+			t.Errorf("permutations(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

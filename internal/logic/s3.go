@@ -1,0 +1,267 @@
+package logic
+
+// This file reproduces the Section 2.1 analysis of the paper: which of
+// the 256 3-input functions the S3 gate (a 2:1 MUX driven by two ND2WI
+// gates) can implement, the five categories of infeasible functions
+// from Figure 2, and the completeness of the modified S3 cell of
+// Figure 3.
+//
+// A ND2WI gate is a 2-input NAND with programmable inversion. With the
+// via-configurable input ties the paper assumes, it implements every
+// 2-input function except XOR and XNOR: 14 functions in total, which is
+// where the paper's "at least 196" (= 14×14 per select choice) comes
+// from.
+
+// ND2WIImplementable reports whether a 2-input function can be realized
+// by a single ND2WI gate.
+func ND2WIImplementable(t TT) bool {
+	if t.N != 2 {
+		panic("logic: ND2WIImplementable wants a 2-input table")
+	}
+	return t != TTXor2 && t != TTXnor2
+}
+
+// ND2WIFunctions returns the 14 ND2WI-implementable 2-input tables.
+func ND2WIFunctions() []TT {
+	var out []TT
+	for bits := uint64(0); bits < 16; bits++ {
+		t := NewTT(2, bits)
+		if ND2WIImplementable(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// S3Decomposition is a Shannon decomposition f = s'·g + s·h of a
+// 3-input function about select variable Select, with the cofactors
+// expressed over the remaining two variables in ascending index order.
+type S3Decomposition struct {
+	Select int
+	G, H   TT // 2-input cofactors: G = f|select=0, H = f|select=1
+}
+
+// Decompose returns the Shannon decomposition of f about variable i.
+func Decompose(f TT, i int) S3Decomposition {
+	if f.N != 3 {
+		panic("logic: Decompose wants a 3-input table")
+	}
+	return S3Decomposition{Select: i, G: f.Cofactor(i, false), H: f.Cofactor(i, true)}
+}
+
+// S3FeasibleWithSelect reports whether the S3 gate implements f using
+// input i as the MUX select, i.e. whether both cofactors about i are
+// ND2WI-implementable.
+func S3FeasibleWithSelect(f TT, i int) bool {
+	d := Decompose(f, i)
+	return ND2WIImplementable(d.G) && ND2WIImplementable(d.H)
+}
+
+// S3Feasible reports whether the S3 gate implements f for some choice
+// of select input.
+func S3Feasible(f TT) bool {
+	for i := 0; i < 3; i++ {
+		if S3FeasibleWithSelect(f, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// S3FeasibleCount returns the number of 3-input functions the S3 gate
+// implements. The paper states this is at least 196.
+func S3FeasibleCount() int {
+	n := 0
+	for bits := uint64(0); bits < 256; bits++ {
+		if S3Feasible(NewTT(3, bits)) {
+			n++
+		}
+	}
+	return n
+}
+
+// S3Category labels an S3-infeasible decomposition per Figure 2 of the
+// paper.
+type S3Category int
+
+const (
+	// S3CatFeasible marks functions the plain S3 gate implements.
+	S3CatFeasible S3Category = iota
+	// S3CatND2XOR: one cofactor ND2WI-implementable, the other an XOR.
+	S3CatND2XOR
+	// S3CatND2XNOR: one cofactor ND2WI-implementable, the other an XNOR.
+	S3CatND2XNOR
+	// S3CatXOR2: both cofactors equal XOR; f simplifies to a 2-input XOR.
+	S3CatXOR2
+	// S3CatXNOR2: both cofactors equal XNOR; f simplifies to a 2-input XNOR.
+	S3CatXNOR2
+	// S3CatXOR3: the cofactors are complements of each other and
+	// XOR-like; f is a 3-input XOR or XNOR.
+	S3CatXOR3
+)
+
+// String returns the Figure 2 label of the category.
+func (c S3Category) String() string {
+	switch c {
+	case S3CatFeasible:
+		return "S3-feasible"
+	case S3CatND2XOR:
+		return "ND2WI cofactor + XOR cofactor"
+	case S3CatND2XNOR:
+		return "ND2WI cofactor + XNOR cofactor"
+	case S3CatXOR2:
+		return "simplifies to 2-input XOR"
+	case S3CatXNOR2:
+		return "simplifies to 2-input XNOR"
+	case S3CatXOR3:
+		return "3-input XOR/XNOR (complementary cofactors)"
+	default:
+		return "unknown"
+	}
+}
+
+func isXorLike(t TT) bool { return t == TTXor2 || t == TTXnor2 }
+
+// ClassifyDecomposition labels the decomposition of f about variable i
+// per Figure 2. It returns S3CatFeasible when both cofactors are
+// ND2WI-implementable.
+func ClassifyDecomposition(f TT, i int) S3Category {
+	d := Decompose(f, i)
+	gx, hx := isXorLike(d.G), isXorLike(d.H)
+	switch {
+	case !gx && !hx:
+		return S3CatFeasible
+	case gx && hx && d.G == d.H && d.G == TTXor2:
+		return S3CatXOR2
+	case gx && hx && d.G == d.H && d.G == TTXnor2:
+		return S3CatXNOR2
+	case gx && hx && d.G == d.H.Not():
+		return S3CatXOR3
+	case (gx && d.G == TTXor2) || (hx && d.H == TTXor2):
+		return S3CatND2XOR
+	default:
+		return S3CatND2XNOR
+	}
+}
+
+// ClassifyFunction labels f itself: feasible if any select works,
+// otherwise the most specific Figure 2 category over its three
+// decompositions (3-input XOR beats the 2-input categories, which beat
+// the mixed ones).
+func ClassifyFunction(f TT) S3Category {
+	if S3Feasible(f) {
+		return S3CatFeasible
+	}
+	rank := func(c S3Category) int {
+		switch c {
+		case S3CatXOR3:
+			return 3
+		case S3CatXOR2, S3CatXNOR2:
+			return 2
+		case S3CatND2XOR, S3CatND2XNOR:
+			return 1
+		default:
+			return 0
+		}
+	}
+	best := ClassifyDecomposition(f, 0)
+	for i := 1; i < 3; i++ {
+		c := ClassifyDecomposition(f, i)
+		if rank(c) > rank(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Fig2Report tallies the Figure 2 analysis over all 256 3-input
+// functions.
+type Fig2Report struct {
+	Feasible int
+	// PerSelectFeasible is the number of functions implementable with a
+	// fixed select choice (the paper's ≥196 bound is 14² = 196).
+	PerSelectFeasible [3]int
+	// InfeasibleByCategory counts globally infeasible functions by
+	// their Figure 2 category.
+	InfeasibleByCategory map[S3Category]int
+	// DecompositionsByCategory counts every (function, select) pair by
+	// decomposition category; this matches Figure 2's view, which
+	// classifies decompositions rather than functions.
+	DecompositionsByCategory map[S3Category]int
+}
+
+// AnalyzeFig2 computes the full Figure 2 report.
+func AnalyzeFig2() Fig2Report {
+	rep := Fig2Report{
+		InfeasibleByCategory:     map[S3Category]int{},
+		DecompositionsByCategory: map[S3Category]int{},
+	}
+	for bits := uint64(0); bits < 256; bits++ {
+		f := NewTT(3, bits)
+		if S3Feasible(f) {
+			rep.Feasible++
+		} else {
+			rep.InfeasibleByCategory[ClassifyFunction(f)]++
+		}
+		for i := 0; i < 3; i++ {
+			if S3FeasibleWithSelect(f, i) {
+				rep.PerSelectFeasible[i]++
+			}
+			rep.DecompositionsByCategory[ClassifyDecomposition(f, i)]++
+		}
+	}
+	return rep
+}
+
+// ModifiedS3Config describes one via configuration of the modified S3
+// cell of Figure 3: the select input, the 2-input function placed on
+// the MUX-side cofactor, the ND2WI-side cofactor (which may instead be
+// the complement of the MUX side, through the programmable inverter),
+// and whether the inverter also drives the MUX-side data input.
+type ModifiedS3Config struct {
+	Select      int
+	MuxSide     TT   // any 2-input function (a 2:1 MUX implements all 16)
+	MuxInverted bool // programmable inverter applied to the MUX output
+	ND2Side     TT   // ND2WI-implementable, or MuxSide complement via the inverter
+	ND2FromInv  bool // true when the second data input is the inverted MUX output
+}
+
+// ModifiedS3Implements returns a configuration of the modified S3 cell
+// realizing f, if one exists. The cell is a final 2:1 MUX whose data
+// inputs are (a) the output of a 2:1 MUX over the two non-select
+// inputs, optionally inverted by the programmable inverter, and (b)
+// either a ND2WI gate over the same inputs or the inverted MUX output.
+func ModifiedS3Implements(f TT) (ModifiedS3Config, bool) {
+	if f.N != 3 {
+		panic("logic: ModifiedS3Implements wants a 3-input table")
+	}
+	for i := 0; i < 3; i++ {
+		d := Decompose(f, i)
+		// MUX side serves cofactor G (select=0); it implements any
+		// 2-input function, inverter or not.
+		// ND2 side serves cofactor H: ND2WI-implementable directly, or
+		// G' through the inverter.
+		if ND2WIImplementable(d.H) {
+			return ModifiedS3Config{Select: i, MuxSide: d.G, ND2Side: d.H}, true
+		}
+		if d.H == d.G.Not() {
+			return ModifiedS3Config{Select: i, MuxSide: d.G, ND2Side: d.H, ND2FromInv: true}, true
+		}
+		// Symmetric assignment: MUX side serves H (invert the select).
+		if ND2WIImplementable(d.G) {
+			return ModifiedS3Config{Select: i, MuxSide: d.H, ND2Side: d.G, MuxInverted: false}, true
+		}
+	}
+	return ModifiedS3Config{}, false
+}
+
+// ModifiedS3Complete reports whether the modified S3 cell implements
+// all 256 3-input functions (the paper's Figure 3 claim).
+func ModifiedS3Complete() bool {
+	for bits := uint64(0); bits < 256; bits++ {
+		if _, ok := ModifiedS3Implements(NewTT(3, bits)); !ok {
+			return false
+		}
+	}
+	return true
+}

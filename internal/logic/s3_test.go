@@ -1,0 +1,187 @@
+package logic
+
+import "testing"
+
+func TestND2WISetSize(t *testing.T) {
+	fns := ND2WIFunctions()
+	if len(fns) != 14 {
+		t.Fatalf("ND2WI implements %d 2-input functions, want 14", len(fns))
+	}
+	for _, f := range fns {
+		if f == TTXor2 || f == TTXnor2 {
+			t.Fatalf("ND2WI set contains %v", f)
+		}
+	}
+}
+
+// TestS3FeasibleCount checks the paper's Section 2.1 claim: the S3 gate
+// (2:1 MUX driven by two ND2WI gates) implements at least 196 of the
+// 256 3-input functions. 196 = 14² is the count for a fixed select
+// input; allowing any of the three inputs as select can only help.
+func TestS3FeasibleCount(t *testing.T) {
+	n := S3FeasibleCount()
+	if n < 196 {
+		t.Fatalf("S3 implements %d functions, paper claims at least 196", n)
+	}
+	if n == 256 {
+		t.Fatalf("S3 implements all 256 functions; the paper's Figure 2 infeasible set must be nonempty")
+	}
+	t.Logf("S3 gate implements %d of 256 3-input functions (%d infeasible)", n, 256-n)
+}
+
+func TestPerSelectFeasibleIsExactly196(t *testing.T) {
+	rep := AnalyzeFig2()
+	for i, n := range rep.PerSelectFeasible {
+		if n != 196 {
+			t.Errorf("select %d: %d feasible functions, want 196 (=14²)", i, n)
+		}
+	}
+}
+
+func TestXor3IsS3Infeasible(t *testing.T) {
+	for _, f := range []TT{TTXor3, TTXnor3} {
+		if S3Feasible(f) {
+			t.Errorf("%v should be S3-infeasible", f)
+		}
+		if got := ClassifyFunction(f); got != S3CatXOR3 {
+			t.Errorf("%v classified as %v, want XOR3 category", f, got)
+		}
+	}
+}
+
+func TestXor2IsS3FeasibleViaOtherSelect(t *testing.T) {
+	// f = x0 XOR x1 as a 3-input function: decomposing about x2 yields
+	// XOR cofactors (Figure 2 category 3), but decomposing about x0
+	// yields literal cofactors, so the S3 gate handles it.
+	f := VarTT(3, 0).Xor(VarTT(3, 1))
+	if got := ClassifyDecomposition(f, 2); got != S3CatXOR2 {
+		t.Errorf("decomposition about x2 = %v, want XOR2 category", got)
+	}
+	if !S3FeasibleWithSelect(f, 0) {
+		t.Errorf("XOR2 should be feasible with select x0")
+	}
+	if !S3Feasible(f) {
+		t.Errorf("XOR2 should be S3-feasible overall")
+	}
+}
+
+func TestClassifyDecompositionCategories(t *testing.T) {
+	a, b, c := VarTT(3, 0), VarTT(3, 1), VarTT(3, 2)
+	// f = c'·(a·b) + c·(a⊕b): about c, one ND2WI cofactor and one XOR.
+	f := Mux(c, a.And(b), a.Xor(b))
+	if got := ClassifyDecomposition(f, 2); got != S3CatND2XOR {
+		t.Errorf("got %v, want ND2WI+XOR", got)
+	}
+	// Same with XNOR.
+	g := Mux(c, a.And(b), a.Xor(b).Not())
+	if got := ClassifyDecomposition(g, 2); got != S3CatND2XNOR {
+		t.Errorf("got %v, want ND2WI+XNOR", got)
+	}
+	// XOR3: complementary XOR-like cofactors.
+	if got := ClassifyDecomposition(TTXor3, 0); got != S3CatXOR3 {
+		t.Errorf("got %v, want XOR3", got)
+	}
+}
+
+func TestFig2ReportConsistency(t *testing.T) {
+	rep := AnalyzeFig2()
+	infeasible := 0
+	for cat, n := range rep.InfeasibleByCategory {
+		if cat == S3CatFeasible {
+			t.Errorf("feasible category in infeasible tally")
+		}
+		infeasible += n
+	}
+	if rep.Feasible+infeasible != 256 {
+		t.Fatalf("feasible %d + infeasible %d != 256", rep.Feasible, infeasible)
+	}
+	// All globally infeasible functions must involve XOR-like cofactors
+	// in every decomposition.
+	for bits := uint64(0); bits < 256; bits++ {
+		f := NewTT(3, bits)
+		if S3Feasible(f) {
+			continue
+		}
+		for i := 0; i < 3; i++ {
+			d := Decompose(f, i)
+			if !isXorLike(d.G) && !isXorLike(d.H) {
+				t.Fatalf("infeasible %v has a clean decomposition about %d", f, i)
+			}
+		}
+	}
+	// XOR3 and XNOR3 are exactly the category-5 residents.
+	if rep.InfeasibleByCategory[S3CatXOR3] != 2 {
+		t.Errorf("category 5 count = %d, want 2 (XOR3, XNOR3)", rep.InfeasibleByCategory[S3CatXOR3])
+	}
+	total := 0
+	for _, n := range rep.DecompositionsByCategory {
+		total += n
+	}
+	if total != 256*3 {
+		t.Fatalf("decomposition tally = %d, want 768", total)
+	}
+}
+
+// TestModifiedS3Complete checks the Figure 3 claim: replacing one ND2WI
+// of the S3 gate with a 2:1 MUX plus a programmable output inverter
+// yields a cell that implements all 256 3-input functions.
+func TestModifiedS3Complete(t *testing.T) {
+	if !ModifiedS3Complete() {
+		for bits := uint64(0); bits < 256; bits++ {
+			if _, ok := ModifiedS3Implements(NewTT(3, bits)); !ok {
+				t.Fatalf("modified S3 cannot implement %v", NewTT(3, bits))
+			}
+		}
+	}
+}
+
+func TestModifiedS3ConfigsAreValid(t *testing.T) {
+	// Reconstruct f from the returned configuration and check equality.
+	for bits := uint64(0); bits < 256; bits++ {
+		f := NewTT(3, bits)
+		cfg, ok := ModifiedS3Implements(f)
+		if !ok {
+			t.Fatalf("no config for %v", f)
+		}
+		d := Decompose(f, cfg.Select)
+		// The config stores the cofactors it assigned; verify the
+		// claimed side constraints hold.
+		if cfg.ND2FromInv {
+			if cfg.ND2Side != cfg.MuxSide.Not() {
+				t.Fatalf("inverter path config inconsistent for %v", f)
+			}
+		} else if !ND2WIImplementable(cfg.ND2Side) {
+			t.Fatalf("ND2 side %v not implementable for %v", cfg.ND2Side, f)
+		}
+		// The two sides must be the cofactors of f about the select (in
+		// either order).
+		gh := [2]TT{d.G, d.H}
+		ok1 := cfg.MuxSide == gh[0] && cfg.ND2Side == gh[1]
+		ok2 := cfg.MuxSide == gh[1] && cfg.ND2Side == gh[0]
+		if !ok1 && !ok2 {
+			t.Fatalf("config sides are not the cofactors of %v", f)
+		}
+	}
+}
+
+func TestXor3ViaModifiedS3UsesInverter(t *testing.T) {
+	cfg, ok := ModifiedS3Implements(TTXor3)
+	if !ok {
+		t.Fatal("modified S3 must implement XOR3")
+	}
+	if !cfg.ND2FromInv {
+		t.Errorf("XOR3 should route the inverted MUX output to the second data input (Sec. 2.2 sum function)")
+	}
+}
+
+func TestS3CategoryStrings(t *testing.T) {
+	cats := []S3Category{S3CatFeasible, S3CatND2XOR, S3CatND2XNOR, S3CatXOR2, S3CatXNOR2, S3CatXOR3}
+	seen := map[string]bool{}
+	for _, c := range cats {
+		s := c.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Errorf("bad or duplicate label for category %d: %q", c, s)
+		}
+		seen[s] = true
+	}
+}

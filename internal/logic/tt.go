@@ -1,0 +1,248 @@
+// Package logic provides small-function Boolean analysis for the VPGA
+// CAD flow: truth tables up to six inputs, cofactoring, NPN
+// canonicalization, and the S3-cell feasibility analysis from Section
+// 2.1 of "Exploring Logic Block Granularity for Regular Fabrics"
+// (DATE 2004).
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxInputs is the largest function arity representable by TT.
+const MaxInputs = 6
+
+// TT is a completely-specified Boolean function of up to MaxInputs
+// variables, stored as a bit vector. Bit i holds f(x_{n-1},...,x_0)
+// where i = x_{n-1}<<(n-1) | ... | x_1<<1 | x_0; x_0 is input 0.
+type TT struct {
+	N    int    // number of inputs, 0..MaxInputs
+	Bits uint64 // only the low 1<<N bits are meaningful
+}
+
+// mask returns the bit mask covering the 1<<n rows of an n-input table.
+func mask(n int) uint64 {
+	if n >= 6 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (1 << uint(n))) - 1
+}
+
+// NewTT builds a truth table from its bit representation, masking away
+// bits beyond row 1<<n. It panics if n is out of range; arities are
+// static properties of the calling code, so a bad n is a programming
+// error rather than a runtime condition.
+func NewTT(n int, bits uint64) TT {
+	if n < 0 || n > MaxInputs {
+		panic(fmt.Sprintf("logic: invalid truth table arity %d", n))
+	}
+	return TT{N: n, Bits: bits & mask(n)}
+}
+
+// ConstTT returns the n-input constant function.
+func ConstTT(n int, v bool) TT {
+	if v {
+		return NewTT(n, ^uint64(0))
+	}
+	return NewTT(n, 0)
+}
+
+// VarTT returns the n-input projection function f = x_i.
+func VarTT(n, i int) TT {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("logic: variable %d out of range for %d inputs", i, n))
+	}
+	var bits uint64
+	for row := 0; row < 1<<uint(n); row++ {
+		if row>>uint(i)&1 == 1 {
+			bits |= 1 << uint(row)
+		}
+	}
+	return TT{N: n, Bits: bits}
+}
+
+// Eval returns f at the given input assignment. Inputs beyond N are
+// ignored.
+func (t TT) Eval(assign uint) bool {
+	return t.Bits>>(uint64(assign)&uint64(1<<uint(t.N)-1))&1 == 1
+}
+
+// Not returns the complement of f.
+func (t TT) Not() TT { return TT{N: t.N, Bits: ^t.Bits & mask(t.N)} }
+
+// And returns f·g. Both tables must have the same arity.
+func (t TT) And(u TT) TT { t.mustMatch(u); return TT{N: t.N, Bits: t.Bits & u.Bits} }
+
+// Or returns f+g.
+func (t TT) Or(u TT) TT { t.mustMatch(u); return TT{N: t.N, Bits: t.Bits | u.Bits} }
+
+// Xor returns f⊕g.
+func (t TT) Xor(u TT) TT { t.mustMatch(u); return TT{N: t.N, Bits: t.Bits ^ u.Bits} }
+
+func (t TT) mustMatch(u TT) {
+	if t.N != u.N {
+		panic(fmt.Sprintf("logic: arity mismatch %d vs %d", t.N, u.N))
+	}
+}
+
+// Mux returns s'·d0 + s·d1 computed row-wise over tables of equal arity.
+func Mux(s, d0, d1 TT) TT {
+	s.mustMatch(d0)
+	s.mustMatch(d1)
+	return TT{N: s.N, Bits: (^s.Bits & d0.Bits) | (s.Bits & d1.Bits)}
+}
+
+// IsConst reports whether f is the constant v.
+func (t TT) IsConst(v bool) bool {
+	if v {
+		return t.Bits == mask(t.N)
+	}
+	return t.Bits == 0
+}
+
+// Cofactor returns the (n-1)-input cofactor of f with x_i fixed to val.
+// The remaining variables keep their relative order.
+func (t TT) Cofactor(i int, val bool) TT {
+	if i < 0 || i >= t.N {
+		panic(fmt.Sprintf("logic: cofactor variable %d out of range", i))
+	}
+	n := t.N - 1
+	var bits uint64
+	for row := 0; row < 1<<uint(n); row++ {
+		low := row & (1<<uint(i) - 1)
+		high := row >> uint(i) << uint(i+1)
+		full := high | low
+		if val {
+			full |= 1 << uint(i)
+		}
+		if t.Bits>>uint(full)&1 == 1 {
+			bits |= 1 << uint(row)
+		}
+	}
+	return TT{N: n, Bits: bits}
+}
+
+// DependsOn reports whether f actually depends on x_i.
+func (t TT) DependsOn(i int) bool {
+	return t.Cofactor(i, false) != t.Cofactor(i, true)
+}
+
+// SupportSize returns the number of inputs f truly depends on.
+func (t TT) SupportSize() int {
+	k := 0
+	for i := 0; i < t.N; i++ {
+		if t.DependsOn(i) {
+			k++
+		}
+	}
+	return k
+}
+
+// Shrink removes variables f does not depend on and returns the
+// reduced table together with, for each remaining position, the index
+// of the original variable it came from.
+func (t TT) Shrink() (TT, []int) {
+	cur := t
+	var keep []int
+	for i := 0; i < t.N; i++ {
+		keep = append(keep, i)
+	}
+	for i := 0; i < cur.N; {
+		if cur.DependsOn(i) {
+			i++
+			continue
+		}
+		cur = cur.Cofactor(i, false)
+		keep = append(keep[:i], keep[i+1:]...)
+	}
+	return cur, keep
+}
+
+// PermuteInputs returns g with g(x_0,...,x_{n-1}) = f(x_{p[0]},...,x_{p[n-1]}):
+// input i of the result reads what input p[i] of f read.
+func (t TT) PermuteInputs(p []int) TT {
+	if len(p) != t.N {
+		panic("logic: permutation length mismatch")
+	}
+	var bits uint64
+	for row := 0; row < 1<<uint(t.N); row++ {
+		src := 0
+		for i := 0; i < t.N; i++ {
+			if row>>uint(i)&1 == 1 {
+				src |= 1 << uint(p[i])
+			}
+		}
+		if t.Bits>>uint(src)&1 == 1 {
+			bits |= 1 << uint(row)
+		}
+	}
+	return TT{N: t.N, Bits: bits}
+}
+
+// NegateInput returns f with input i complemented.
+func (t TT) NegateInput(i int) TT {
+	if i < 0 || i >= t.N {
+		panic("logic: negate input out of range")
+	}
+	var bits uint64
+	for row := 0; row < 1<<uint(t.N); row++ {
+		src := row ^ (1 << uint(i))
+		if t.Bits>>uint(src)&1 == 1 {
+			bits |= 1 << uint(row)
+		}
+	}
+	return TT{N: t.N, Bits: bits}
+}
+
+// Extend returns f viewed as an n-input function that ignores the
+// added high-order inputs.
+func (t TT) Extend(n int) TT {
+	if n < t.N || n > MaxInputs {
+		panic("logic: bad extension arity")
+	}
+	cur := t
+	for cur.N < n {
+		rows := uint(1) << uint(cur.N)
+		cur = TT{N: cur.N + 1, Bits: cur.Bits | cur.Bits<<rows}
+	}
+	return cur
+}
+
+// String renders the table as <arity>'b<rows> with row (1<<N)-1 first,
+// e.g. the 2-input AND is "2'b1000".
+func (t TT) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d'b", t.N)
+	for row := 1<<uint(t.N) - 1; row >= 0; row-- {
+		if t.Bits>>uint(row)&1 == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Common 2-input tables (inputs: x_0 = a, x_1 = b).
+var (
+	TTAnd2  = NewTT(2, 0b1000)
+	TTOr2   = NewTT(2, 0b1110)
+	TTNand2 = NewTT(2, 0b0111)
+	TTNor2  = NewTT(2, 0b0001)
+	TTXor2  = NewTT(2, 0b0110)
+	TTXnor2 = NewTT(2, 0b1001)
+)
+
+// Common 3-input tables (inputs: x_0 = a, x_1 = b, x_2 = c).
+var (
+	TTAnd3  = NewTT(3, 0b10000000)
+	TTNand3 = NewTT(3, 0b01111111)
+	TTOr3   = NewTT(3, 0b11111110)
+	TTXor3  = NewTT(3, 0b10010110)
+	TTXnor3 = NewTT(3, 0b01101001)
+	// TTMux3 is s'·a + s·b with a = x_0, b = x_1, s = x_2.
+	TTMux3 = Mux(VarTT(3, 2), VarTT(3, 0), VarTT(3, 1))
+	// TTMaj3 is the majority (full-adder carry) of x_0, x_1, x_2.
+	TTMaj3 = NewTT(3, 0b11101000)
+)

@@ -1,0 +1,234 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTTMasksHighBits(t *testing.T) {
+	tt := NewTT(2, 0xFFFF)
+	if tt.Bits != 0xF {
+		t.Fatalf("NewTT(2, 0xFFFF).Bits = %#x, want 0xF", tt.Bits)
+	}
+	if got := NewTT(6, ^uint64(0)).Bits; got != ^uint64(0) {
+		t.Fatalf("6-input all-ones = %#x", got)
+	}
+}
+
+func TestNewTTPanicsOnBadArity(t *testing.T) {
+	for _, n := range []int{-1, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTT(%d, 0) did not panic", n)
+				}
+			}()
+			NewTT(n, 0)
+		}()
+	}
+}
+
+func TestVarTT(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		for i := 0; i < n; i++ {
+			v := VarTT(n, i)
+			for row := uint(0); row < 1<<uint(n); row++ {
+				want := row>>uint(i)&1 == 1
+				if v.Eval(row) != want {
+					t.Fatalf("VarTT(%d,%d).Eval(%d) = %v, want %v", n, i, row, v.Eval(row), want)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalAgainstOperators(t *testing.T) {
+	a, b := VarTT(2, 0), VarTT(2, 1)
+	if got := a.And(b); got != TTAnd2 {
+		t.Errorf("a AND b = %v, want %v", got, TTAnd2)
+	}
+	if got := a.Or(b); got != TTOr2 {
+		t.Errorf("a OR b = %v, want %v", got, TTOr2)
+	}
+	if got := a.Xor(b); got != TTXor2 {
+		t.Errorf("a XOR b = %v, want %v", got, TTXor2)
+	}
+	if got := a.And(b).Not(); got != TTNand2 {
+		t.Errorf("NAND = %v, want %v", got, TTNand2)
+	}
+}
+
+func TestMuxSemantics(t *testing.T) {
+	a, b, s := VarTT(3, 0), VarTT(3, 1), VarTT(3, 2)
+	m := Mux(s, a, b)
+	for row := uint(0); row < 8; row++ {
+		av, bv, sv := row&1 == 1, row>>1&1 == 1, row>>2&1 == 1
+		want := av
+		if sv {
+			want = bv
+		}
+		if m.Eval(row) != want {
+			t.Fatalf("mux eval mismatch at row %d", row)
+		}
+	}
+	if m != TTMux3 {
+		t.Errorf("TTMux3 constant disagrees with construction")
+	}
+}
+
+func TestCofactorShannonExpansion(t *testing.T) {
+	// f must equal x_i'·f|x_i=0 + x_i·f|x_i=1 for every i, checked by
+	// re-expanding the cofactors.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		f := NewTT(n, rng.Uint64())
+		for i := 0; i < n; i++ {
+			g, h := f.Cofactor(i, false), f.Cofactor(i, true)
+			for row := uint(0); row < 1<<uint(n); row++ {
+				// Drop bit i from the row to index the cofactor.
+				low := row & (1<<uint(i) - 1)
+				high := row >> uint(i+1) << uint(i)
+				sub := high | low
+				var want bool
+				if row>>uint(i)&1 == 1 {
+					want = h.Eval(sub)
+				} else {
+					want = g.Eval(sub)
+				}
+				if f.Eval(row) != want {
+					t.Fatalf("Shannon expansion broken: n=%d f=%v i=%d row=%d", n, f, i, row)
+				}
+			}
+		}
+	}
+}
+
+func TestDependsOnAndSupport(t *testing.T) {
+	f := VarTT(3, 1) // depends only on x1
+	if f.DependsOn(0) || !f.DependsOn(1) || f.DependsOn(2) {
+		t.Fatalf("DependsOn wrong for projection")
+	}
+	if f.SupportSize() != 1 {
+		t.Fatalf("SupportSize = %d, want 1", f.SupportSize())
+	}
+	if got := TTXor3.SupportSize(); got != 3 {
+		t.Fatalf("XOR3 support = %d, want 3", got)
+	}
+	if got := ConstTT(3, true).SupportSize(); got != 0 {
+		t.Fatalf("const support = %d, want 0", got)
+	}
+}
+
+func TestShrink(t *testing.T) {
+	// f(x0,x1,x2) = x0 XOR x2, ignoring x1.
+	f := VarTT(3, 0).Xor(VarTT(3, 2))
+	small, keep := f.Shrink()
+	if small.N != 2 {
+		t.Fatalf("shrunk arity = %d, want 2", small.N)
+	}
+	if len(keep) != 2 || keep[0] != 0 || keep[1] != 2 {
+		t.Fatalf("keep = %v, want [0 2]", keep)
+	}
+	if small != TTXor2 {
+		t.Fatalf("shrunk table = %v, want XOR2", small)
+	}
+}
+
+func TestPermuteInputsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(3)
+		f := NewTT(n, rng.Uint64())
+		perm := rng.Perm(n)
+		inv := make([]int, n)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		if got := f.PermuteInputs(perm).PermuteInputs(inv); got != f {
+			t.Fatalf("permute round trip failed: n=%d perm=%v", n, perm)
+		}
+	}
+}
+
+func TestPermuteInputsSemantics(t *testing.T) {
+	// g = f.PermuteInputs(p) must satisfy g(x) = f(y) with y_{p[i]} = x_i.
+	f := NewTT(3, 0b11001010)
+	p := []int{2, 0, 1}
+	g := f.PermuteInputs(p)
+	for row := uint(0); row < 8; row++ {
+		var src uint
+		for i := 0; i < 3; i++ {
+			if row>>uint(i)&1 == 1 {
+				src |= 1 << uint(p[i])
+			}
+		}
+		if g.Eval(row) != f.Eval(src) {
+			t.Fatalf("permute semantics wrong at row %d", row)
+		}
+	}
+}
+
+func TestNegateInputInvolution(t *testing.T) {
+	err := quick.Check(func(bits uint64, iRaw uint8) bool {
+		f := NewTT(3, bits)
+		i := int(iRaw) % 3
+		return f.NegateInput(i).NegateInput(i) == f
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendIgnoresNewInputs(t *testing.T) {
+	f := TTAnd2
+	g := f.Extend(4)
+	if g.N != 4 {
+		t.Fatalf("extend arity = %d", g.N)
+	}
+	for row := uint(0); row < 16; row++ {
+		if g.Eval(row) != f.Eval(row&3) {
+			t.Fatalf("extend changed semantics at row %d", row)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := TTAnd2.String(); got != "2'b1000" {
+		t.Errorf("AND2 string = %q", got)
+	}
+	if got := TTXor3.String(); got != "3'b10010110" {
+		t.Errorf("XOR3 string = %q", got)
+	}
+}
+
+func TestNotIsInvolutionProperty(t *testing.T) {
+	err := quick.Check(func(bits uint64) bool {
+		f := NewTT(4, bits)
+		return f.Not().Not() == f && f.Not().Bits == (^f.Bits)&((1<<16)-1)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	err := quick.Check(func(x, y uint64) bool {
+		f, g := NewTT(4, x), NewTT(4, y)
+		return f.And(g).Not() == f.Not().Or(g.Not())
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaj3IsFullAdderCarry(t *testing.T) {
+	for row := uint(0); row < 8; row++ {
+		a, b, c := row&1, row>>1&1, row>>2&1
+		want := a+b+c >= 2
+		if TTMaj3.Eval(row) != want {
+			t.Fatalf("maj3 wrong at %d", row)
+		}
+	}
+}

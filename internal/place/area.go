@@ -1,0 +1,24 @@
+package place
+
+import (
+	"vpga/internal/cells"
+	"vpga/internal/netlist"
+)
+
+// ArchArea returns an AreaFunc resolving node types against the given
+// architecture: configuration instances use their configuration area,
+// everything else (INV, BUF, DFF, raw component cells in flow a) the
+// component cell area.
+func ArchArea(arch *cells.PLBArch) AreaFunc {
+	lib := arch.Library()
+	return func(n *netlist.Node) float64 {
+		if cfg := arch.Config(n.Type); cfg != nil {
+			return cfg.Area
+		}
+		if c := lib.Cell(n.Type); c != nil {
+			return c.Area
+		}
+		// Unknown type: charge a NAND2 equivalent so totals stay sane.
+		return 1
+	}
+}

@@ -1,0 +1,467 @@
+// Package place implements the ASIC-style detailed placement stage of
+// the paper's flow (the role Dolphin's physical synthesis plays in
+// Figure 6): timing-driven simulated annealing over a continuous die,
+// minimizing criticality-weighted half-perimeter wirelength, plus the
+// incremental refinement loop the packer calls during legalization.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"vpga/internal/netlist"
+)
+
+// Obj is one placeable object: a configuration instance, flip-flop,
+// buffer, or IO pad.
+type Obj struct {
+	Nodes []netlist.NodeID // netlist nodes this object carries (2 for FA macros)
+	Name  string
+	Area  float64
+	X, Y  float64
+	Fixed bool // IO pads are pinned to the periphery
+	IsPad bool
+	nets  []int32
+}
+
+// Net connects a driver object to its sink objects.
+type Net struct {
+	Objs   []int32 // object indexes, driver first, deduplicated
+	Weight float64
+}
+
+// Problem is a placement instance.
+type Problem struct {
+	W, H float64
+	Objs []Obj
+	Nets []Net
+
+	objOf map[netlist.NodeID]int32 // netlist node -> object index
+	rng   *rand.Rand
+}
+
+// AreaFunc returns the placement area of a netlist node (gate or DFF).
+type AreaFunc func(n *netlist.Node) float64
+
+// Options tunes the annealer.
+type Options struct {
+	// Utilization is the cell-area / core-area target (default 0.70).
+	Utilization float64
+	// Seed drives the annealer's RNG.
+	Seed int64
+	// MovesPerObj scales annealing effort (default 8).
+	MovesPerObj int
+	// Outline forces the die dimensions (used when placing into a
+	// fixed PLB array); zero means size from utilization.
+	OutlineW, OutlineH float64
+}
+
+// Build extracts the placement problem from a netlist. Objects are
+// gates, flip-flops and IO pads; nodes sharing a nonzero Group become
+// one object. Pads are distributed around the periphery and fixed.
+func Build(nl *netlist.Netlist, area AreaFunc, opts Options) (*Problem, error) {
+	if opts.Utilization == 0 {
+		opts.Utilization = 0.70
+	}
+	p := &Problem{objOf: map[netlist.NodeID]int32{}, rng: rand.New(rand.NewSource(opts.Seed + 1))}
+
+	groupObj := map[int32]int32{}
+	totalArea := 0.0
+	addObj := func(o Obj) int32 {
+		idx := int32(len(p.Objs))
+		p.Objs = append(p.Objs, o)
+		return idx
+	}
+	for _, n := range nl.Nodes() {
+		switch n.Kind {
+		case netlist.KindGate, netlist.KindDFF:
+			if n.Group != 0 {
+				if idx, ok := groupObj[n.Group]; ok {
+					p.objOf[n.ID] = idx
+					p.Objs[idx].Nodes = append(p.Objs[idx].Nodes, n.ID)
+					continue
+				}
+			}
+			a := area(n)
+			idx := addObj(Obj{Nodes: []netlist.NodeID{n.ID}, Name: n.Type, Area: a})
+			p.objOf[n.ID] = idx
+			totalArea += a
+			if n.Group != 0 {
+				groupObj[n.Group] = idx
+			}
+		case netlist.KindInput, netlist.KindOutput:
+			idx := addObj(Obj{Nodes: []netlist.NodeID{n.ID}, Name: n.Name, Fixed: true, IsPad: true})
+			p.objOf[n.ID] = idx
+		case netlist.KindConst:
+			// Constants are via-programmed ties; no placement object.
+		}
+	}
+	if totalArea == 0 {
+		return nil, fmt.Errorf("place: netlist %s has no placeable area", nl.Name)
+	}
+	if opts.OutlineW > 0 {
+		p.W, p.H = opts.OutlineW, opts.OutlineH
+	} else {
+		side := math.Sqrt(totalArea / opts.Utilization)
+		p.W, p.H = side, side
+	}
+
+	// Nets: one per driver with readers.
+	for _, n := range nl.Nodes() {
+		driver, ok := p.objOf[n.ID]
+		if !ok {
+			continue
+		}
+		outs := nl.Fanouts(n.ID)
+		if len(outs) == 0 {
+			continue
+		}
+		seen := map[int32]bool{driver: true}
+		objs := []int32{driver}
+		for _, o := range outs {
+			if idx, ok := p.objOf[o]; ok && !seen[idx] {
+				seen[idx] = true
+				objs = append(objs, idx)
+			}
+		}
+		if len(objs) < 2 {
+			continue
+		}
+		p.Nets = append(p.Nets, Net{Objs: objs, Weight: 1})
+	}
+	for ni := range p.Nets {
+		for _, oi := range p.Nets[ni].Objs {
+			p.Objs[oi].nets = append(p.Objs[oi].nets, int32(ni))
+		}
+	}
+
+	p.placePads()
+	p.randomSpread()
+	return p, nil
+}
+
+// ObjIndex returns the placement object carrying the given netlist
+// node, or -1.
+func (p *Problem) ObjIndex(id netlist.NodeID) int32 {
+	if idx, ok := p.objOf[id]; ok {
+		return idx
+	}
+	return -1
+}
+
+// placePads distributes IO pads evenly around the periphery.
+func (p *Problem) placePads() {
+	var pads []int32
+	for i := range p.Objs {
+		if p.Objs[i].IsPad {
+			pads = append(pads, int32(i))
+		}
+	}
+	perimeter := 2 * (p.W + p.H)
+	for i, idx := range pads {
+		d := perimeter * float64(i) / float64(len(pads))
+		o := &p.Objs[idx]
+		switch {
+		case d < p.W:
+			o.X, o.Y = d, 0
+		case d < p.W+p.H:
+			o.X, o.Y = p.W, d-p.W
+		case d < 2*p.W+p.H:
+			o.X, o.Y = 2*p.W+p.H-d, p.H
+		default:
+			o.X, o.Y = 0, perimeter-d
+		}
+	}
+}
+
+// randomSpread scatters movable objects uniformly.
+func (p *Problem) randomSpread() {
+	for i := range p.Objs {
+		if p.Objs[i].Fixed {
+			continue
+		}
+		p.Objs[i].X = p.rng.Float64() * p.W
+		p.Objs[i].Y = p.rng.Float64() * p.H
+	}
+}
+
+// ForceDirected runs quadratic-style global placement passes: each
+// movable object moves to the centroid of its net neighbors (pads act
+// as anchors), then a rank-based quantile spread restores uniform
+// density. A few passes give the annealer a connectivity-aware start,
+// which matters at tens of thousands of objects.
+func (p *Problem) ForceDirected(passes int) {
+	movable := p.movable()
+	if len(movable) == 0 {
+		return
+	}
+	sumX := make([]float64, len(p.Objs))
+	sumY := make([]float64, len(p.Objs))
+	cnt := make([]float64, len(p.Objs))
+	for pass := 0; pass < passes; pass++ {
+		for i := range sumX {
+			sumX[i], sumY[i], cnt[i] = 0, 0, 0
+		}
+		for ni := range p.Nets {
+			net := &p.Nets[ni]
+			// Net centroid.
+			cx, cy := 0.0, 0.0
+			for _, oi := range net.Objs {
+				cx += p.Objs[oi].X
+				cy += p.Objs[oi].Y
+			}
+			cx /= float64(len(net.Objs))
+			cy /= float64(len(net.Objs))
+			w := net.Weight
+			for _, oi := range net.Objs {
+				sumX[oi] += w * cx
+				sumY[oi] += w * cy
+				cnt[oi] += w
+			}
+		}
+		for _, oi := range movable {
+			if cnt[oi] > 0 {
+				p.Objs[oi].X = sumX[oi] / cnt[oi]
+				p.Objs[oi].Y = sumY[oi] / cnt[oi]
+			}
+		}
+		p.quantileSpread(movable)
+	}
+}
+
+// quantileSpread redistributes movable objects so each axis is
+// uniformly occupied while preserving relative order (a monotone
+// stretch), undoing the centroid collapse of a force pass.
+func (p *Problem) quantileSpread(movable []int32) {
+	byX := append([]int32(nil), movable...)
+	sortBy(byX, func(a, b int32) bool { return p.Objs[a].X < p.Objs[b].X })
+	for rank, oi := range byX {
+		p.Objs[oi].X = (float64(rank) + 0.5) / float64(len(byX)) * p.W
+	}
+	byY := append([]int32(nil), movable...)
+	sortBy(byY, func(a, b int32) bool { return p.Objs[a].Y < p.Objs[b].Y })
+	for rank, oi := range byY {
+		p.Objs[oi].Y = (float64(rank) + 0.5) / float64(len(byY)) * p.H
+	}
+}
+
+func sortBy(xs []int32, less func(a, b int32) bool) {
+	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+}
+
+// netHPWL computes one net's half-perimeter wirelength.
+func (p *Problem) netHPWL(n *Net) float64 {
+	first := &p.Objs[n.Objs[0]]
+	minX, maxX := first.X, first.X
+	minY, maxY := first.Y, first.Y
+	for _, oi := range n.Objs[1:] {
+		o := &p.Objs[oi]
+		if o.X < minX {
+			minX = o.X
+		} else if o.X > maxX {
+			maxX = o.X
+		}
+		if o.Y < minY {
+			minY = o.Y
+		} else if o.Y > maxY {
+			maxY = o.Y
+		}
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// HPWL returns the total weighted half-perimeter wirelength.
+func (p *Problem) HPWL() float64 {
+	total := 0.0
+	for i := range p.Nets {
+		total += p.Nets[i].Weight * p.netHPWL(&p.Nets[i])
+	}
+	return total
+}
+
+// SetNetWeight scales net i's cost contribution (timing criticality).
+func (p *Problem) SetNetWeight(i int, w float64) { p.Nets[i].Weight = w }
+
+// Anneal runs the global simulated-annealing placement.
+func (p *Problem) Anneal(opts Options) {
+	if opts.MovesPerObj == 0 {
+		opts.MovesPerObj = 8
+	}
+	movable := p.movable()
+	if len(movable) == 0 {
+		return
+	}
+	// Connectivity-aware seeding, then a low-temperature anneal: the
+	// force-directed solution is already global, so the anneal refines
+	// rather than re-melts.
+	p.ForceDirected(30)
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	temp := p.estimateInitialTemp(rng, movable) * 0.05
+	window := math.Max(p.W, p.H) * 0.15
+	minTemp := temp * 1e-4
+	for temp > minTemp {
+		accepted := 0
+		moves := opts.MovesPerObj * len(movable)
+		for m := 0; m < moves; m++ {
+			if p.tryMove(rng, movable, window, temp) {
+				accepted++
+			}
+		}
+		rate := float64(accepted) / float64(moves)
+		// VPR-style schedule: cool slower near the critical acceptance
+		// region, shrink the window toward the target 44% acceptance.
+		switch {
+		case rate > 0.96:
+			temp *= 0.5
+		case rate > 0.8:
+			temp *= 0.9
+		case rate > 0.15:
+			temp *= 0.95
+		default:
+			temp *= 0.8
+		}
+		window = math.Max(window*(1-0.44+rate), math.Max(p.W, p.H)*0.02)
+	}
+	p.Refine(0.05, 2, opts.Seed+13)
+}
+
+func (p *Problem) movable() []int32 {
+	var out []int32
+	for i := range p.Objs {
+		if !p.Objs[i].Fixed {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func (p *Problem) estimateInitialTemp(rng *rand.Rand, movable []int32) float64 {
+	var deltas []float64
+	for i := 0; i < 50 && i < len(movable); i++ {
+		oi := movable[rng.Intn(len(movable))]
+		before := p.objCost(oi)
+		ox, oy := p.Objs[oi].X, p.Objs[oi].Y
+		p.Objs[oi].X = rng.Float64() * p.W
+		p.Objs[oi].Y = rng.Float64() * p.H
+		after := p.objCost(oi)
+		p.Objs[oi].X, p.Objs[oi].Y = ox, oy
+		deltas = append(deltas, math.Abs(after-before))
+	}
+	sum := 0.0
+	for _, d := range deltas {
+		sum += d
+	}
+	if len(deltas) == 0 || sum == 0 {
+		return 1
+	}
+	return 20 * sum / float64(len(deltas))
+}
+
+// objCost is the weighted HPWL of the nets incident to object oi.
+func (p *Problem) objCost(oi int32) float64 {
+	total := 0.0
+	for _, ni := range p.Objs[oi].nets {
+		total += p.Nets[ni].Weight * p.netHPWL(&p.Nets[ni])
+	}
+	return total
+}
+
+// tryMove proposes a displacement (or swap) and accepts by the
+// Metropolis criterion.
+func (p *Problem) tryMove(rng *rand.Rand, movable []int32, window, temp float64) bool {
+	oi := movable[rng.Intn(len(movable))]
+	o := &p.Objs[oi]
+	if rng.Intn(8) == 0 {
+		// Swap with another movable object.
+		oj := movable[rng.Intn(len(movable))]
+		if oi == oj {
+			return false
+		}
+		q := &p.Objs[oj]
+		before := p.objCost(oi) + p.objCost(oj)
+		o.X, o.Y, q.X, q.Y = q.X, q.Y, o.X, o.Y
+		after := p.objCost(oi) + p.objCost(oj)
+		if p.accept(rng, after-before, temp) {
+			return true
+		}
+		o.X, o.Y, q.X, q.Y = q.X, q.Y, o.X, o.Y
+		return false
+	}
+	before := p.objCost(oi)
+	ox, oy := o.X, o.Y
+	o.X = clamp(ox+(rng.Float64()*2-1)*window, 0, p.W)
+	o.Y = clamp(oy+(rng.Float64()*2-1)*window, 0, p.H)
+	after := p.objCost(oi)
+	if p.accept(rng, after-before, temp) {
+		return true
+	}
+	o.X, o.Y = ox, oy
+	return false
+}
+
+func (p *Problem) accept(rng *rand.Rand, delta, temp float64) bool {
+	if delta <= 0 {
+		return true
+	}
+	return rng.Float64() < math.Exp(-delta/temp)
+}
+
+// Refine runs zero-temperature local improvement with a small window;
+// the packer invokes it after restricting objects to regions.
+func (p *Problem) Refine(windowFrac float64, passes int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	movable := p.movable()
+	if len(movable) == 0 {
+		return
+	}
+	window := math.Max(p.W, p.H) * windowFrac
+	for pass := 0; pass < passes; pass++ {
+		for _, oi := range movable {
+			o := &p.Objs[oi]
+			before := p.objCost(oi)
+			ox, oy := o.X, o.Y
+			o.X = clamp(ox+(rng.Float64()*2-1)*window, 0, p.W)
+			o.Y = clamp(oy+(rng.Float64()*2-1)*window, 0, p.H)
+			if p.objCost(oi) > before {
+				o.X, o.Y = ox, oy
+			}
+		}
+	}
+}
+
+// LongNets returns the indexes of nets whose HPWL exceeds frac times
+// the die half-perimeter (buffer-insertion candidates).
+func (p *Problem) LongNets(frac float64) []int {
+	limit := frac * (p.W + p.H)
+	var out []int
+	for i := range p.Nets {
+		if p.netHPWL(&p.Nets[i]) > limit {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalObjArea sums movable object area.
+func (p *Problem) TotalObjArea() float64 {
+	total := 0.0
+	for i := range p.Objs {
+		total += p.Objs[i].Area
+	}
+	return total
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ObjNets returns the indexes of the nets incident to object oi.
+func (p *Problem) ObjNets(oi int32) []int32 { return p.Objs[oi].nets }

@@ -1,0 +1,209 @@
+package place
+
+import (
+	"testing"
+
+	"vpga/internal/aig"
+	"vpga/internal/cells"
+	"vpga/internal/compact"
+	"vpga/internal/netlist"
+	"vpga/internal/rtl"
+	"vpga/internal/techmap"
+)
+
+// buildProblem compiles RTL through the flow front end and builds a
+// placement problem for the granular architecture.
+func buildProblem(t *testing.T, src string, seed int64) (*Problem, *netlist.Netlist, *cells.PLBArch) {
+	t.Helper()
+	arch := cells.GranularPLB()
+	nl, err := rtl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := aig.FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Optimize(2)
+	mapped, err := techmap.Map(d, arch, techmap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := compact.Run(mapped.Netlist, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(cres.Netlist, ArchArea(arch), Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cres.Netlist, arch
+}
+
+const src = `
+module m(input clk, input [7:0] a, input [7:0] b, input s, output [7:0] y);
+  wire [7:0] sum = a + b;
+  wire [7:0] lg = a ^ b;
+  reg [7:0] r;
+  always r <= s ? sum : lg;
+  assign y = r;
+endmodule`
+
+func TestBuildProblem(t *testing.T) {
+	p, nl, _ := buildProblem(t, src, 1)
+	if len(p.Objs) == 0 || len(p.Nets) == 0 {
+		t.Fatal("empty problem")
+	}
+	if p.W <= 0 || p.H <= 0 {
+		t.Fatal("degenerate die")
+	}
+	// Every gate/DFF node maps to an object.
+	for _, n := range nl.Nodes() {
+		switch n.Kind {
+		case netlist.KindGate, netlist.KindDFF:
+			if p.ObjIndex(n.ID) < 0 {
+				t.Fatalf("node %d (%s) unplaced", n.ID, n.Type)
+			}
+		}
+	}
+	// Pads are on the periphery.
+	for _, o := range p.Objs {
+		if !o.IsPad {
+			continue
+		}
+		onEdge := o.X == 0 || o.Y == 0 || o.X == p.W || o.Y == p.H
+		if !onEdge {
+			t.Fatalf("pad %q at (%v,%v) not on periphery", o.Name, o.X, o.Y)
+		}
+	}
+}
+
+func TestGroupedNodesShareObject(t *testing.T) {
+	p, nl, _ := buildProblem(t, src, 2)
+	groups := map[int32][]int32{}
+	for _, n := range nl.Nodes() {
+		if n.Group != 0 {
+			groups[n.Group] = append(groups[n.Group], p.ObjIndex(n.ID))
+		}
+	}
+	if len(groups) == 0 {
+		t.Skip("no FA macros in this design")
+	}
+	for g, objs := range groups {
+		for _, o := range objs[1:] {
+			if o != objs[0] {
+				t.Fatalf("group %d split across objects %v", g, objs)
+			}
+		}
+	}
+}
+
+func TestAnnealImprovesHPWL(t *testing.T) {
+	p, _, _ := buildProblem(t, src, 3)
+	before := p.HPWL()
+	p.Anneal(Options{Seed: 3, MovesPerObj: 6})
+	after := p.HPWL()
+	if after >= before {
+		t.Fatalf("annealing did not improve HPWL: %.1f -> %.1f", before, after)
+	}
+	// All objects inside the die.
+	for _, o := range p.Objs {
+		if o.X < 0 || o.X > p.W || o.Y < 0 || o.Y > p.H {
+			t.Fatalf("object %q escaped the die", o.Name)
+		}
+	}
+}
+
+func TestRefineDoesNotWorsen(t *testing.T) {
+	p, _, _ := buildProblem(t, src, 4)
+	p.Anneal(Options{Seed: 4, MovesPerObj: 4})
+	before := p.HPWL()
+	p.Refine(0.05, 3, 99)
+	after := p.HPWL()
+	if after > before*1.0001 {
+		t.Fatalf("refine worsened HPWL: %.1f -> %.1f", before, after)
+	}
+}
+
+func TestFixedOutline(t *testing.T) {
+	p, nl, arch := buildProblem(t, src, 5)
+	_ = p
+	p2, err := Build(nl, ArchArea(arch), Options{Seed: 5, OutlineW: 40, OutlineH: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.W != 40 || p2.H != 30 {
+		t.Fatalf("outline not honored: %vx%v", p2.W, p2.H)
+	}
+}
+
+func TestNetWeights(t *testing.T) {
+	p, _, _ := buildProblem(t, src, 6)
+	base := p.HPWL()
+	for i := range p.Nets {
+		p.SetNetWeight(i, 2)
+	}
+	if got := p.HPWL(); got < 1.99*base || got > 2.01*base {
+		t.Fatalf("weighted HPWL = %v, want ~%v", got, 2*base)
+	}
+}
+
+func TestLongNets(t *testing.T) {
+	p, _, _ := buildProblem(t, src, 7)
+	all := p.LongNets(0)
+	if len(all) != len(p.Nets) {
+		t.Fatalf("LongNets(0) = %d, want all %d", len(all), len(p.Nets))
+	}
+	none := p.LongNets(10)
+	if len(none) != 0 {
+		t.Fatalf("LongNets(10) = %d, want 0", len(none))
+	}
+}
+
+func TestPadOnlyDesignRejected(t *testing.T) {
+	nl := netlist.New("wire")
+	nl.AddOutput("y", nl.AddInput("a"))
+	if _, err := Build(nl, func(n *netlist.Node) float64 { return 1 }, Options{}); err == nil {
+		t.Fatal("expected error for netlist with no placeable area")
+	}
+}
+
+func TestForceDirectedImprovesHPWL(t *testing.T) {
+	p, _, _ := buildProblem(t, src, 8)
+	before := p.HPWL()
+	p.ForceDirected(10)
+	after := p.HPWL()
+	if after >= before {
+		t.Fatalf("force-directed placement did not improve HPWL: %.1f -> %.1f", before, after)
+	}
+	// Objects must stay inside the die.
+	for _, o := range p.Objs {
+		if o.X < 0 || o.X > p.W || o.Y < 0 || o.Y > p.H {
+			t.Fatalf("object %q escaped the die", o.Name)
+		}
+	}
+}
+
+func TestQuantileSpreadPreservesOrderAndDensity(t *testing.T) {
+	p, _, _ := buildProblem(t, src, 9)
+	movable := p.movable()
+	// Record x-order before spreading.
+	orderBefore := append([]int32(nil), movable...)
+	sortBy(orderBefore, func(a, b int32) bool { return p.Objs[a].X < p.Objs[b].X })
+	p.quantileSpread(movable)
+	orderAfter := append([]int32(nil), movable...)
+	sortBy(orderAfter, func(a, b int32) bool { return p.Objs[a].X < p.Objs[b].X })
+	for i := range orderBefore {
+		if orderBefore[i] != orderAfter[i] {
+			t.Fatal("quantile spread changed the x-order of objects")
+		}
+	}
+	// Uniform density: adjacent gaps are all equal.
+	gap := p.W / float64(len(movable))
+	for rank, oi := range orderAfter {
+		want := (float64(rank) + 0.5) * gap
+		if d := p.Objs[oi].X - want; d < -1e-9 || d > 1e-9 {
+			t.Fatalf("rank %d at %v, want %v", rank, p.Objs[oi].X, want)
+		}
+	}
+}

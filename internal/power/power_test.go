@@ -1,0 +1,177 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"vpga/internal/aig"
+	"vpga/internal/cells"
+	"vpga/internal/compact"
+	"vpga/internal/logic"
+	"vpga/internal/netlist"
+	"vpga/internal/rtl"
+	"vpga/internal/techmap"
+)
+
+func TestGateProbAnd(t *testing.T) {
+	nl := netlist.New("p")
+	a, b := nl.AddInput("a"), nl.AddInput("b")
+	g := nl.AddGate("ND3", logic.TTAnd2, a, b)
+	nl.AddOutput("y", g)
+	rep, err := Estimate(nl, cells.GranularPLB(), nil, nil, Options{ClockPS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(and) = 0.25 at 0.5 inputs; activity = 2·0.25·0.75 = 0.375.
+	if d := rep.Prob[g] - 0.25; math.Abs(d) > 1e-9 {
+		t.Fatalf("P(and) = %v", rep.Prob[g])
+	}
+	if d := rep.Activity[g] - 0.375; math.Abs(d) > 1e-9 {
+		t.Fatalf("activity = %v", rep.Activity[g])
+	}
+}
+
+func TestBiasedInputs(t *testing.T) {
+	nl := netlist.New("p")
+	a, b := nl.AddInput("a"), nl.AddInput("b")
+	g := nl.AddGate("ND3", logic.TTOr2, a, b)
+	nl.AddOutput("y", g)
+	rep, err := Estimate(nl, cells.GranularPLB(), nil, nil, Options{ClockPS: 1000, InputProb: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(or) = 1 - 0.1² = 0.99.
+	if d := rep.Prob[g] - 0.99; math.Abs(d) > 1e-9 {
+		t.Fatalf("P(or) = %v", rep.Prob[g])
+	}
+}
+
+func TestSequentialFixedPoint(t *testing.T) {
+	// q <= ~q toggles: P converges toward 0.5.
+	nl := netlist.New("tog")
+	inv := nl.AddGate("MX", logic.VarTT(1, 0).Not(), 0)
+	q := nl.AddDFF("q", inv)
+	nl.SetFanin(inv, 0, q)
+	nl.AddOutput("y", q)
+	rep, err := Estimate(nl, cells.GranularPLB(), nil, nil, Options{ClockPS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rep.Prob[q] - 0.5; math.Abs(d) > 0.01 {
+		t.Fatalf("toggle FF probability = %v, want ~0.5", rep.Prob[q])
+	}
+}
+
+func TestConstantNetsAreQuiet(t *testing.T) {
+	nl := netlist.New("c")
+	a := nl.AddInput("a")
+	one := nl.AddConst(true)
+	g := nl.AddGate("ND3", logic.TTAnd2, a, one)
+	nl.AddOutput("y", g)
+	rep, err := Estimate(nl, cells.GranularPLB(), nil, nil, Options{ClockPS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Activity[one] != 0 {
+		t.Fatal("constant node switching")
+	}
+	// g = a·1 = a: probability 0.5.
+	if d := rep.Prob[g] - 0.5; math.Abs(d) > 1e-9 {
+		t.Fatalf("P = %v", rep.Prob[g])
+	}
+}
+
+func TestPowerScalesWithFrequency(t *testing.T) {
+	nl := netlist.New("f")
+	a, b := nl.AddInput("a"), nl.AddInput("b")
+	nl.AddOutput("y", nl.AddGate("MX", logic.TTXor2, a, b))
+	slow, err := Estimate(nl, cells.GranularPLB(), nil, nil, Options{ClockPS: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Estimate(nl, cells.GranularPLB(), nil, nil, Options{ClockPS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := fast.DynamicUW / slow.DynamicUW; math.Abs(r-2) > 1e-9 {
+		t.Fatalf("dynamic power ratio = %v, want 2", r)
+	}
+	if fast.LeakageUW != slow.LeakageUW {
+		t.Fatal("leakage must not depend on frequency")
+	}
+}
+
+// TestLUTMappingBurnsMorePower checks the Sec. 2 / [10] direction: the
+// same design mapped on the LUT architecture dissipates more than on
+// the granular one (bigger cells, bigger caps).
+func TestLUTMappingBurnsMorePower(t *testing.T) {
+	src := `
+module m(input clk, input [7:0] a, input [7:0] b, output [7:0] y);
+  reg [7:0] r;
+  always r <= (a ^ b) + (a & b);
+  assign y = r;
+endmodule`
+	nlr, err := rtl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := map[string]float64{}
+	for _, arch := range []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()} {
+		d, err := aig.FromNetlist(nlr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Optimize(2)
+		mapped, err := techmap.Map(d, arch, techmap.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := compact.Run(mapped.Netlist, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Estimate(cres.Netlist, arch, nil, nil, Options{ClockPS: 1500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		power[arch.Name] = rep.TotalUW
+	}
+	if power["granular-plb"] >= power["lut-plb"] {
+		t.Fatalf("granular %0.1fµW should dissipate less than LUT %0.1fµW", power["granular-plb"], power["lut-plb"])
+	}
+	t.Logf("power: granular %.1f µW vs LUT %.1f µW", power["granular-plb"], power["lut-plb"])
+}
+
+func TestEstimateErrors(t *testing.T) {
+	nl := netlist.New("e")
+	nl.AddOutput("y", nl.AddInput("a"))
+	if _, err := Estimate(nl, cells.GranularPLB(), nil, nil, Options{}); err == nil {
+		t.Fatal("missing clock accepted")
+	}
+}
+
+func TestByTypeSplitsAddUp(t *testing.T) {
+	src := `
+module m(input [3:0] a, input [3:0] b, output [3:0] y);
+  assign y = (a & b) ^ (a | b);
+endmodule`
+	nlr, err := rtl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := cells.GranularPLB()
+	d, _ := aig.FromNetlist(nlr)
+	mapped, _ := techmap.Map(d, arch, techmap.Options{})
+	cres, _ := compact.Run(mapped.Netlist, arch)
+	rep, err := Estimate(cres.Netlist, arch, nil, nil, Options{ClockPS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range rep.ByType {
+		sum += v
+	}
+	if math.Abs(sum-rep.DynamicUW) > 1e-9 {
+		t.Fatalf("ByType sums to %v, dynamic %v", sum, rep.DynamicUW)
+	}
+}

@@ -1,0 +1,538 @@
+// Package route implements the ASIC-style global routing stage of the
+// paper's flow: the VPGA routes on upper metal layers directly above
+// the PLB array. The router is a PathFinder-style negotiated-congestion
+// maze router over a uniform grid with per-edge capacities, building a
+// routing tree per net and extracting wirelength and Elmore RC
+// parasitics for post-layout timing.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"vpga/internal/place"
+)
+
+// Options tunes the router.
+type Options struct {
+	// CellsX/CellsY is the routing grid; zero derives it from the
+	// placement (about one bin per PLB pitch).
+	CellsX, CellsY int
+	// Capacity is the track count per grid edge (default 24).
+	Capacity int
+	// MaxIters bounds rip-up-and-reroute rounds (default 12).
+	MaxIters int
+	// RPerUnit and CPerUnit are wire resistance (kΩ) and capacitance
+	// (fF) per placement distance unit (defaults 0.08 kΩ, 0.20 fF: a
+	// scaled mid-layer metal wire).
+	RPerUnit, CPerUnit float64
+	// RepeatedDelayPerUnit is the delay of an optimally repeated wire
+	// in ps per unit (default 2.4, derived from the BUF cell: segment
+	// length L* = sqrt(2·Rb·Cb/(r·c)) ≈ 17 units at ≈ 42 ps per
+	// segment). Long-wire Elmore delay is capped at this linear model,
+	// standing in for the repeater insertion the paper's physical
+	// synthesis performs. Zero disables the cap.
+	RepeatedDelayPerUnit float64
+	// MaxLoadFF bounds the capacitance a driver sees (the repeater
+	// nearest the driver isolates the rest of the tree); default 30 fF,
+	// zero disables.
+	MaxLoadFF float64
+}
+
+// Result is a routed design.
+type Result struct {
+	CellsX, CellsY int
+	BinW, BinH     float64
+	// Wirelength per net in placement units, and in total.
+	NetLength []float64
+	Total     float64
+	// SinkDist[net][k] is the tree path length from the driver to sink
+	// k (ordering matches place.Net.Objs[1:]).
+	SinkDist [][]float64
+	// Overflow is the number of edge-capacity violations remaining.
+	Overflow int
+	// MaxUtilization is the peak edge usage / capacity.
+	MaxUtilization float64
+	// Iterations actually run.
+	Iterations int
+
+	opts Options
+	// Retained for detailed routing (track assignment).
+	netEdges       [][]edgeRef
+	hEdges, vEdges []int16
+}
+
+// WireRC returns the wire delay (ps) and load capacitance (fF) seen by
+// net n's driver toward sink k. Short wires follow the lumped Elmore
+// model delay = r·L·(c·L/2); past the repeater crossover the delay is
+// capped at the linear optimally-repeated-wire model (see
+// Options.RepeatedDelayPerUnit).
+func (r *Result) WireRC(net, sink int) (delayPS, capFF float64) {
+	L := r.SinkDist[net][sink]
+	elmore := r.opts.RPerUnit * L * (r.opts.CPerUnit * L / 2)
+	if rep := r.opts.RepeatedDelayPerUnit; rep > 0 {
+		if lin := rep * L; lin < elmore {
+			elmore = lin
+		}
+	}
+	return elmore, r.NetCap(net)
+}
+
+// NetCap returns the wire capacitance net n presents to its driver:
+// the tree's total capacitance, bounded by MaxLoadFF when repeaters
+// isolate the driver from the far tree.
+func (r *Result) NetCap(net int) float64 {
+	c := r.opts.CPerUnit * r.NetLength[net]
+	if r.opts.MaxLoadFF > 0 && c > r.opts.MaxLoadFF {
+		return r.opts.MaxLoadFF
+	}
+	return c
+}
+
+type point struct{ x, y int16 }
+
+// Route routes every placement net.
+func Route(prob *place.Problem, opts Options) (*Result, error) {
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 12
+	}
+	if opts.RPerUnit == 0 {
+		opts.RPerUnit = 0.08
+	}
+	if opts.CPerUnit == 0 {
+		opts.CPerUnit = 0.20
+	}
+	if opts.RepeatedDelayPerUnit == 0 {
+		opts.RepeatedDelayPerUnit = 2.4
+	}
+	if opts.MaxLoadFF == 0 {
+		opts.MaxLoadFF = 30
+	}
+	if opts.CellsX == 0 {
+		opts.CellsX = clampInt(int(math.Ceil(prob.W/4)), 4, 512)
+	}
+	if opts.CellsY == 0 {
+		opts.CellsY = clampInt(int(math.Ceil(prob.H/4)), 4, 512)
+	}
+	if opts.Capacity == 0 {
+		// Track capacity scales with the bin span: roughly 20 tracks of
+		// upper-layer metal per placement unit of bin width (the VPGA
+		// routes ASIC-style across several metal layers above the
+		// array).
+		binW := prob.W / float64(opts.CellsX)
+		opts.Capacity = clampInt(int(binW*20), 24, 4096)
+	}
+	r := &router{prob: prob, opts: opts}
+	return r.run()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+type router struct {
+	prob *place.Problem
+	opts Options
+
+	nx, ny   int
+	binW     float64
+	binH     float64
+	hUse     []int16 // horizontal edges (x,y)→(x+1,y): (nx-1)*ny
+	vUse     []int16 // vertical edges (x,y)→(x,y+1): nx*(ny-1)
+	hHist    []float32
+	vHist    []float32
+	netEdges [][]edgeRef // edges per net for rip-up
+	netTrees []map[point][]point
+
+	// A* scratch arrays, reused across calls via epoch stamping.
+	gScore  []float64
+	parent  []int32
+	gStamp  []int32
+	cStamp  []int32
+	epoch   int32
+	scratch pq
+
+	// Current A* search window.
+	winX0, winY0, winX1, winY1 int
+}
+
+type edgeRef struct {
+	horizontal bool
+	idx        int32
+}
+
+func (r *router) hIdx(x, y int) int { return y*(r.nx-1) + x }
+func (r *router) vIdx(x, y int) int { return y*r.nx + x }
+
+func (r *router) binOf(oi int32) point {
+	o := &r.prob.Objs[oi]
+	x := int16(clampInt(int(o.X/r.binW), 0, r.nx-1))
+	y := int16(clampInt(int(o.Y/r.binH), 0, r.ny-1))
+	return point{x, y}
+}
+
+func (r *router) run() (*Result, error) {
+	r.nx, r.ny = r.opts.CellsX, r.opts.CellsY
+	r.binW = r.prob.W / float64(r.nx)
+	r.binH = r.prob.H / float64(r.ny)
+	r.hUse = make([]int16, (r.nx-1)*r.ny)
+	r.vUse = make([]int16, r.nx*(r.ny-1))
+	r.hHist = make([]float32, len(r.hUse))
+	r.vHist = make([]float32, len(r.vUse))
+	cells := r.nx * r.ny
+	r.gScore = make([]float64, cells)
+	r.parent = make([]int32, cells)
+	r.gStamp = make([]int32, cells)
+	r.cStamp = make([]int32, cells)
+	nets := r.prob.Nets
+	r.netEdges = make([][]edgeRef, len(nets))
+	r.netTrees = make([]map[point][]point, len(nets))
+
+	presentFactor := 0.5
+	iters := 0
+	for iter := 0; iter < r.opts.MaxIters; iter++ {
+		iters = iter + 1
+		rerouted := 0
+		for ni := range nets {
+			if iter > 0 && !r.netOverflowed(ni) {
+				continue
+			}
+			r.ripup(ni)
+			if err := r.routeNet(ni, presentFactor); err != nil {
+				return nil, err
+			}
+			rerouted++
+		}
+		over := r.totalOverflow()
+		if over == 0 {
+			break
+		}
+		// Accumulate history on congested edges.
+		for i, u := range r.hUse {
+			if int(u) > r.opts.Capacity {
+				r.hHist[i] += float32(int(u) - r.opts.Capacity)
+			}
+		}
+		for i, u := range r.vUse {
+			if int(u) > r.opts.Capacity {
+				r.vHist[i] += float32(int(u) - r.opts.Capacity)
+			}
+		}
+		presentFactor *= 1.6
+		if rerouted == 0 {
+			break
+		}
+	}
+	return r.finish(iters)
+}
+
+func (r *router) netOverflowed(ni int) bool {
+	for _, e := range r.netEdges[ni] {
+		use := r.vUse
+		if e.horizontal {
+			use = r.hUse
+		}
+		if int(use[e.idx]) > r.opts.Capacity {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *router) totalOverflow() int {
+	over := 0
+	for _, u := range r.hUse {
+		if int(u) > r.opts.Capacity {
+			over += int(u) - r.opts.Capacity
+		}
+	}
+	for _, u := range r.vUse {
+		if int(u) > r.opts.Capacity {
+			over += int(u) - r.opts.Capacity
+		}
+	}
+	return over
+}
+
+func (r *router) ripup(ni int) {
+	for _, e := range r.netEdges[ni] {
+		if e.horizontal {
+			r.hUse[e.idx]--
+		} else {
+			r.vUse[e.idx]--
+		}
+	}
+	r.netEdges[ni] = nil
+	r.netTrees[ni] = nil
+}
+
+// edgeCost is the negotiated-congestion cost of taking an edge.
+func (r *router) edgeCost(horizontal bool, idx int, presentFactor float64) float64 {
+	var use int16
+	var hist float32
+	if horizontal {
+		use, hist = r.hUse[idx], r.hHist[idx]
+	} else {
+		use, hist = r.vUse[idx], r.vHist[idx]
+	}
+	cost := 1.0 + float64(hist)*0.5
+	if int(use)+1 > r.opts.Capacity {
+		cost += presentFactor * float64(int(use)+1-r.opts.Capacity) * 4
+	}
+	return cost
+}
+
+// pq is the A* frontier.
+type pqItem struct {
+	pt   point
+	g, f float64
+}
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// routeNet builds the net's routing tree: sinks are connected one at a
+// time (nearest first) by A* from the existing tree.
+func (r *router) routeNet(ni int, presentFactor float64) error {
+	net := &r.prob.Nets[ni]
+	src := r.binOf(net.Objs[0])
+	tree := map[point]bool{src: true}
+	treeAdj := map[point][]point{}
+	var edges []edgeRef
+
+	sinks := make([]point, 0, len(net.Objs)-1)
+	for _, oi := range net.Objs[1:] {
+		sinks = append(sinks, r.binOf(oi))
+	}
+	// Route nearest sinks first for better trees.
+	sorted := append([]point(nil), sinks...)
+	for i := range sorted {
+		best := i
+		for j := i + 1; j < len(sorted); j++ {
+			if manhattan(src, sorted[j]) < manhattan(src, sorted[best]) {
+				best = j
+			}
+		}
+		sorted[i], sorted[best] = sorted[best], sorted[i]
+	}
+	for _, sink := range sorted {
+		if tree[sink] {
+			continue
+		}
+		// Restrict the search to a margin around the sink and its
+		// nearest tree node first; fall back to the whole grid only if
+		// congestion walls off the window.
+		path, err := r.astar(tree, sink, presentFactor, 6)
+		if err != nil {
+			path, err = r.astar(tree, sink, presentFactor, -1)
+		}
+		if err != nil {
+			return fmt.Errorf("route: net %d: %w", ni, err)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			a, b := path[i], path[i+1]
+			ref := r.edgeBetween(a, b)
+			if e := ref; e.horizontal {
+				r.hUse[e.idx]++
+			} else {
+				r.vUse[e.idx]++
+			}
+			edges = append(edges, ref)
+			treeAdj[a] = append(treeAdj[a], b)
+			treeAdj[b] = append(treeAdj[b], a)
+			tree[a], tree[b] = true, true
+		}
+		tree[sink] = true
+	}
+	r.netEdges[ni] = edges
+	r.netTrees[ni] = treeAdj
+	return nil
+}
+
+func manhattan(a, b point) float64 {
+	return math.Abs(float64(a.x-b.x)) + math.Abs(float64(a.y-b.y))
+}
+
+func (r *router) edgeBetween(a, b point) edgeRef {
+	switch {
+	case a.y == b.y && b.x == a.x+1:
+		return edgeRef{true, int32(r.hIdx(int(a.x), int(a.y)))}
+	case a.y == b.y && b.x == a.x-1:
+		return edgeRef{true, int32(r.hIdx(int(b.x), int(a.y)))}
+	case a.x == b.x && b.y == a.y+1:
+		return edgeRef{false, int32(r.vIdx(int(a.x), int(a.y)))}
+	default:
+		return edgeRef{false, int32(r.vIdx(int(a.x), int(b.y)))}
+	}
+}
+
+// astar searches from the existing tree (all members seeded at cost 0)
+// to the sink. Scratch state lives in flat arrays indexed by grid cell
+// and is invalidated wholesale by bumping an epoch counter, so routing
+// thousands of nets allocates nothing per call.
+func (r *router) astar(tree map[point]bool, sink point, presentFactor float64, margin int) ([]point, error) {
+	r.epoch++
+	cell := func(p point) int32 { return int32(p.y)*int32(r.nx) + int32(p.x) }
+	uncell := func(c int32) point { return point{int16(c % int32(r.nx)), int16(c / int32(r.nx))} }
+	// Search window: the bounding box of the sink and its nearest tree
+	// node, padded by margin bins (margin < 0 disables the window).
+	r.winX0, r.winY0, r.winX1, r.winY1 = 0, 0, r.nx-1, r.ny-1
+	if margin >= 0 {
+		best, bestD := sink, math.Inf(1)
+		for t := range tree {
+			if d := manhattan(t, sink); d < bestD {
+				best, bestD = t, d
+			}
+		}
+		r.winX0 = clampInt(minI(int(best.x), int(sink.x))-margin, 0, r.nx-1)
+		r.winX1 = clampInt(maxI(int(best.x), int(sink.x))+margin, 0, r.nx-1)
+		r.winY0 = clampInt(minI(int(best.y), int(sink.y))-margin, 0, r.ny-1)
+		r.winY1 = clampInt(maxI(int(best.y), int(sink.y))+margin, 0, r.ny-1)
+	}
+	frontier := r.scratch[:0]
+	for t := range tree {
+		if int(t.x) < r.winX0 || int(t.x) > r.winX1 || int(t.y) < r.winY0 || int(t.y) > r.winY1 {
+			continue
+		}
+		c := cell(t)
+		r.gScore[c] = 0
+		r.gStamp[c] = r.epoch
+		r.parent[c] = -1
+		frontier = append(frontier, pqItem{t, 0, manhattan(t, sink)})
+	}
+	heap.Init(&frontier)
+	defer func() { r.scratch = frontier[:0] }()
+	sinkC := cell(sink)
+	for frontier.Len() > 0 {
+		cur := heap.Pop(&frontier).(pqItem)
+		curC := cell(cur.pt)
+		if r.cStamp[curC] == r.epoch {
+			continue
+		}
+		r.cStamp[curC] = r.epoch
+		if curC == sinkC {
+			// Reconstruct to the first tree node.
+			var path []point
+			c := sinkC
+			for {
+				p := uncell(c)
+				path = append(path, p)
+				if tree[p] {
+					break
+				}
+				c = r.parent[c]
+			}
+			return path, nil
+		}
+		x, y := int(cur.pt.x), int(cur.pt.y)
+		r.relax(&frontier, cur, sink, x+1, y, x+1 < r.nx, true, r.hIdx(x, y), presentFactor)
+		r.relax(&frontier, cur, sink, x-1, y, x-1 >= 0, true, r.hIdx(maxI(x-1, 0), y), presentFactor)
+		r.relax(&frontier, cur, sink, x, y+1, y+1 < r.ny, false, r.vIdx(x, y), presentFactor)
+		r.relax(&frontier, cur, sink, x, y-1, y-1 >= 0, false, r.vIdx(x, maxI(y-1, 0)), presentFactor)
+	}
+	return nil, fmt.Errorf("no path to sink (%d,%d)", sink.x, sink.y)
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// relax pushes neighbor (nx,ny) if in bounds and improved.
+func (r *router) relax(frontier *pq, cur pqItem, sink point, nxp, nyp int, ok, horizontal bool, edgeIdx int, presentFactor float64) {
+	if !ok {
+		return
+	}
+	if nxp < r.winX0 || nxp > r.winX1 || nyp < r.winY0 || nyp > r.winY1 {
+		return
+	}
+	p := point{int16(nxp), int16(nyp)}
+	c := int32(nyp)*int32(r.nx) + int32(nxp)
+	if r.cStamp[c] == r.epoch {
+		return
+	}
+	g := cur.g + r.edgeCost(horizontal, edgeIdx, presentFactor)
+	if r.gStamp[c] == r.epoch && r.gScore[c] <= g {
+		return
+	}
+	r.gScore[c] = g
+	r.gStamp[c] = r.epoch
+	r.parent[c] = int32(cur.pt.y)*int32(r.nx) + int32(cur.pt.x)
+	heap.Push(frontier, pqItem{p, g, g + manhattan(p, sink)})
+}
+
+// finish extracts lengths, per-sink distances and congestion stats.
+func (r *router) finish(iters int) (*Result, error) {
+	res := &Result{
+		CellsX: r.nx, CellsY: r.ny,
+		BinW: r.binW, BinH: r.binH,
+		NetLength:  make([]float64, len(r.prob.Nets)),
+		SinkDist:   make([][]float64, len(r.prob.Nets)),
+		Iterations: iters,
+		opts:       r.opts,
+		netEdges:   r.netEdges,
+		hEdges:     r.hUse,
+		vEdges:     r.vUse,
+	}
+	edgeLen := (r.binW + r.binH) / 2
+	for ni := range r.prob.Nets {
+		res.NetLength[ni] = float64(len(r.netEdges[ni])) * edgeLen
+		res.Total += res.NetLength[ni]
+		// Per-sink tree distance by BFS over the tree adjacency.
+		net := &r.prob.Nets[ni]
+		src := r.binOf(net.Objs[0])
+		dist := map[point]float64{src: 0}
+		queue := []point{src}
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, q := range r.netTrees[ni][p] {
+				if _, seen := dist[q]; !seen {
+					dist[q] = dist[p] + edgeLen
+					queue = append(queue, q)
+				}
+			}
+		}
+		res.SinkDist[ni] = make([]float64, len(net.Objs)-1)
+		for k, oi := range net.Objs[1:] {
+			res.SinkDist[ni][k] = dist[r.binOf(oi)]
+		}
+	}
+	res.Overflow = r.totalOverflow()
+	for _, u := range r.hUse {
+		if f := float64(u) / float64(r.opts.Capacity); f > res.MaxUtilization {
+			res.MaxUtilization = f
+		}
+	}
+	for _, u := range r.vUse {
+		if f := float64(u) / float64(r.opts.Capacity); f > res.MaxUtilization {
+			res.MaxUtilization = f
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package rtl
+
+// Module is a parsed RTL module.
+type Module struct {
+	Name  string
+	Ports []Port
+	Items []Item
+}
+
+// Port is one module port. Width is the bit count (1 for scalar).
+type Port struct {
+	Name   string
+	Width  int
+	Output bool
+	Line   int
+}
+
+// Item is a module body item.
+type Item interface{ item() }
+
+// WireDecl declares a wire, optionally with an inline assignment.
+type WireDecl struct {
+	Name  string
+	Width int
+	Init  Expr // may be nil
+	Line  int
+}
+
+// RegDecl declares a register.
+type RegDecl struct {
+	Name  string
+	Width int
+	Line  int
+}
+
+// Assign is a continuous assignment to a declared wire or output.
+type Assign struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// AlwaysFF is a registered assignment `always name <= expr;` on the
+// implicit clock.
+type AlwaysFF struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+func (WireDecl) item() {}
+func (RegDecl) item()  {}
+func (Assign) item()   {}
+func (AlwaysFF) item() {}
+
+// Expr is an RTL expression node.
+type Expr interface{ exprLine() int }
+
+// Ref names a signal, optionally indexed or sliced.
+type Ref struct {
+	Name     string
+	HasIndex bool
+	Hi, Lo   int // for x[i], Hi == Lo
+	Line     int
+}
+
+// Literal is a constant with an optional explicit width (0 = unsized,
+// adapts to context).
+type Literal struct {
+	Value uint64
+	Width int
+	Line  int
+}
+
+// Unary applies ~ (bitwise not) or the reductions &, |, ^.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary applies | ^ & == != << >> + -.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+	Line             int
+}
+
+// Concat is {a, b, ...}; operand 0 holds the most significant bits.
+type Concat struct {
+	Parts []Expr
+	Line  int
+}
+
+// Repl is {N{x}}.
+type Repl struct {
+	Count int
+	X     Expr
+	Line  int
+}
+
+func (e Ref) exprLine() int     { return e.Line }
+func (e Literal) exprLine() int { return e.Line }
+func (e Unary) exprLine() int   { return e.Line }
+func (e Binary) exprLine() int  { return e.Line }
+func (e Ternary) exprLine() int { return e.Line }
+func (e Concat) exprLine() int  { return e.Line }
+func (e Repl) exprLine() int    { return e.Line }

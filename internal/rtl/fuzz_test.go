@@ -1,0 +1,87 @@
+package rtl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCompileNeverPanics feeds the front end mutated and random
+// sources: every input must produce either a netlist or an error,
+// never a panic.
+func TestCompileNeverPanics(t *testing.T) {
+	seeds := []string{
+		"module m(input a, output y); assign y = a; endmodule",
+		"module m(input [7:0] a, output [7:0] y); wire [7:0] w = a + 8'hFF; assign y = w ^ {8{a[0]}}; endmodule",
+		"module m(input clk, input d, output q); reg r; always r <= d; assign q = r; endmodule",
+	}
+	tokens := []string{"module", "endmodule", "input", "output", "wire", "reg",
+		"assign", "always", "<=", "=", ";", ",", "(", ")", "[", "]", "{", "}",
+		"?", ":", "+", "-", "&", "|", "^", "~", "<<", ">>", "==", "!=",
+		"a", "y", "w", "8'hFF", "3'b101", "7", "0", "'", "\x00", "/*", "//"}
+	rng := rand.New(rand.NewSource(99))
+	run := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Compile panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = Compile(src)
+	}
+	for _, seed := range seeds {
+		run(seed)
+		// Deletion mutations.
+		for trial := 0; trial < 200; trial++ {
+			b := []byte(seed)
+			n := 1 + rng.Intn(8)
+			for i := 0; i < n && len(b) > 0; i++ {
+				p := rng.Intn(len(b))
+				b = append(b[:p], b[p+1:]...)
+			}
+			run(string(b))
+		}
+		// Substitution mutations.
+		for trial := 0; trial < 200; trial++ {
+			b := []byte(seed)
+			for i := 0; i < 4; i++ {
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			}
+			run(string(b))
+		}
+	}
+	// Random token soup.
+	for trial := 0; trial < 300; trial++ {
+		var sb strings.Builder
+		sb.WriteString("module m(")
+		for i := 0; i < rng.Intn(40); i++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+			sb.WriteByte(' ')
+		}
+		run(sb.String())
+	}
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	// Deeply parenthesized expressions must not blow the stack at sane
+	// depths.
+	depth := 300
+	expr := strings.Repeat("~(", depth) + "a" + strings.Repeat(")", depth)
+	src := "module m(input a, output y); assign y = " + expr + "; endmodule"
+	nl, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.ComputeStats().Gates != depth {
+		t.Fatalf("gates = %d, want %d", nl.ComputeStats().Gates, depth)
+	}
+}
+
+func TestWidthBoundary(t *testing.T) {
+	// 256 is the widest legal signal; 257 errors cleanly.
+	if _, err := Compile("module m(input [255:0] a, output [255:0] y); assign y = a; endmodule"); err != nil {
+		t.Fatalf("width 256 rejected: %v", err)
+	}
+	if _, err := Compile("module m(input [256:0] a, output y); assign y = a[0]; endmodule"); err == nil {
+		t.Fatal("width 257 accepted")
+	}
+}

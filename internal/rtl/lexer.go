@@ -1,0 +1,163 @@
+// Package rtl implements the flow's front end: a compact structural
+// RTL dialect (a small Verilog subset) with buses, bitwise operators,
+// ternary multiplexers, adders/subtractors, comparisons, constant
+// shifts, concatenation, replication and implicitly clocked registers.
+// Designs elaborate to the gate-level netlist IR; this stands in for
+// the commercial synthesis front end of the paper's flow.
+//
+// Grammar sketch:
+//
+//	module NAME ( {(input|output) [ [H:L] ] NAME ,} ) ;
+//	  wire [H:L] NAME = expr ;
+//	  wire [H:L] NAME ;         assign NAME = expr ;
+//	  reg  [H:L] NAME ;         always NAME <= expr ;
+//	endmodule
+//
+// Expressions: ?:  |  ^  &  ==  !=  <<  >>  +  -  ~  &x |x ^x (reductions)
+// indexing x[i], slicing x[h:l], concatenation {a,b}, replication
+// {N{x}}, and literals 12, 8'hFF, 4'b1010.
+package rtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber  // plain decimal
+	tokSized   // sized literal: 8'hFF
+	tokSymbol  // punctuation / operator
+	tokKeyword // module, input, output, wire, reg, assign, always, endmodule
+)
+
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"wire": true, "reg": true, "assign": true, "always": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src, stripping // and /* */ comments.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("rtl: line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			l.emit(kind, text)
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	// Sized literal? e.g. 8'hFF, 4'b1010, 3'd5.
+	if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+		l.pos++
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("rtl: line %d: truncated sized literal", l.line)
+		}
+		base := l.src[l.pos]
+		if base != 'h' && base != 'b' && base != 'd' && base != 'o' {
+			return fmt.Errorf("rtl: line %d: bad literal base %q", l.line, base)
+		}
+		l.pos++
+		digStart := l.pos
+		for l.pos < len(l.src) && (isHexDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		if l.pos == digStart {
+			return fmt.Errorf("rtl: line %d: sized literal without digits", l.line)
+		}
+		l.emit(tokSized, l.src[start:l.pos])
+		return nil
+	}
+	l.emit(tokNumber, l.src[start:l.pos])
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// multi-character symbols, longest first.
+var symbols = []string{"<<", ">>", "<=", "==", "!=", "?", ":", ",", ";",
+	"(", ")", "[", "]", "{", "}", "=", "&", "|", "^", "~", "+", "-"}
+
+func (l *lexer) lexSymbol() error {
+	for _, s := range symbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.emit(tokSymbol, s)
+			l.pos += len(s)
+			return nil
+		}
+	}
+	return fmt.Errorf("rtl: line %d: unexpected character %q", l.line, l.src[l.pos])
+}

@@ -1,0 +1,466 @@
+package rtl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one module from RTL source text.
+func Parse(src string) (*Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("trailing input after endmodule")
+	}
+	return m, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("rtl: line %d: %s (at %q)", p.cur().line, fmt.Sprintf(format, args...), p.cur().text)
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if p.cur().kind != tokSymbol || p.cur().text != s {
+		return p.errorf("expected %q", s)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectKeyword(s string) error {
+	if p.cur().kind != tokKeyword || p.cur().text != s {
+		return p.errorf("expected %q", s)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errorf("expected identifier")
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) atSymbol(s string) bool {
+	return p.cur().kind == tokSymbol && p.cur().text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == s
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for !p.atSymbol(")") {
+		port, err := p.parsePort()
+		if err != nil {
+			return nil, err
+		}
+		m.Ports = append(m.Ports, port)
+		if p.atSymbol(",") {
+			p.pos++
+		} else if !p.atSymbol(")") {
+			return nil, p.errorf("expected ',' or ')' in port list")
+		}
+	}
+	p.pos++ // ')'
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+	for !p.atKeyword("endmodule") {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		m.Items = append(m.Items, item)
+	}
+	p.pos++ // endmodule
+	return m, nil
+}
+
+func (p *parser) parsePort() (Port, error) {
+	line := p.cur().line
+	var output bool
+	switch {
+	case p.atKeyword("input"):
+		output = false
+	case p.atKeyword("output"):
+		output = true
+	default:
+		return Port{}, p.errorf("expected input or output")
+	}
+	p.pos++
+	width, err := p.parseOptWidth()
+	if err != nil {
+		return Port{}, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return Port{}, err
+	}
+	return Port{Name: name, Width: width, Output: output, Line: line}, nil
+}
+
+// parseOptWidth parses an optional [H:L] range and returns H-L+1, or 1.
+func (p *parser) parseOptWidth() (int, error) {
+	if !p.atSymbol("[") {
+		return 1, nil
+	}
+	p.pos++
+	hi, err := p.parseInt()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return 0, err
+	}
+	lo, err := p.parseInt()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return 0, err
+	}
+	if lo != 0 {
+		return 0, p.errorf("ranges must be [N:0]")
+	}
+	if hi < lo {
+		return 0, p.errorf("descending range required, got [%d:%d]", hi, lo)
+	}
+	return hi - lo + 1, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	if p.cur().kind != tokNumber {
+		return 0, p.errorf("expected number")
+	}
+	v, err := strconv.Atoi(p.next().text)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func (p *parser) parseItem() (Item, error) {
+	line := p.cur().line
+	switch {
+	case p.atKeyword("wire"):
+		p.pos++
+		width, err := p.parseOptWidth()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.atSymbol("=") {
+			p.pos++
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		return WireDecl{Name: name, Width: width, Init: init, Line: line}, nil
+	case p.atKeyword("reg"):
+		p.pos++
+		width, err := p.parseOptWidth()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		return RegDecl{Name: name, Width: width, Line: line}, nil
+	case p.atKeyword("assign"):
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		return Assign{Name: name, Expr: e, Line: line}, nil
+	case p.atKeyword("always"):
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("<="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		return AlwaysFF{Name: name, Expr: e, Line: line}, nil
+	default:
+		return nil, p.errorf("expected wire, reg, assign, always or endmodule")
+	}
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	ternary := or ('?' ternary ':' ternary)?
+//	or      := xor ('|' xor)*
+//	xor     := and ('^' and)*
+//	and     := eq  ('&' eq)*
+//	eq      := shift (('=='|'!=') shift)*
+//	shift   := add (('<<'|'>>') add)*
+//	add     := unary (('+'|'-') unary)*
+//	unary   := ('~'|'&'|'|'|'^') unary | primary
+//	primary := ref | literal | '(' ternary ')' | concat
+func (p *parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *parser) parseTernary() (Expr, error) {
+	line := p.cur().line
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atSymbol("?") {
+		return cond, nil
+	}
+	p.pos++
+	thenE, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return Ternary{Cond: cond, Then: thenE, Else: elseE, Line: line}, nil
+}
+
+// binary operator precedence levels, loosest first.
+var precLevels = [][]string{
+	{"|"}, {"^"}, {"&"}, {"==", "!="}, {"<<", ">>"}, {"+", "-"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level == len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range precLevels[level] {
+			if p.atSymbol(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return x, nil
+		}
+		line := p.cur().line
+		p.pos++
+		y, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = Binary{Op: matched, X: x, Y: y, Line: line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	for _, op := range []string{"~", "&", "|", "^"} {
+		if p.atSymbol(op) {
+			line := p.cur().line
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return Unary{Op: op, X: x, Line: line}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	line := p.cur().line
+	switch {
+	case p.atSymbol("("):
+		p.pos++
+		e, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.atSymbol("{"):
+		return p.parseConcat()
+	case p.cur().kind == tokNumber:
+		v, err := strconv.ParseUint(p.next().text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return Literal{Value: v, Width: 0, Line: line}, nil
+	case p.cur().kind == tokSized:
+		return p.parseSizedLiteral()
+	case p.cur().kind == tokIdent:
+		name := p.next().text
+		ref := Ref{Name: name, Line: line}
+		if p.atSymbol("[") {
+			p.pos++
+			hi, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			lo := hi
+			if p.atSymbol(":") {
+				p.pos++
+				lo, err = p.parseInt()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectSymbol("]"); err != nil {
+				return nil, err
+			}
+			if hi < lo {
+				return nil, p.errorf("slice [%d:%d] must be descending", hi, lo)
+			}
+			ref.HasIndex, ref.Hi, ref.Lo = true, hi, lo
+		}
+		return ref, nil
+	default:
+		return nil, p.errorf("expected expression")
+	}
+}
+
+func (p *parser) parseConcat() (Expr, error) {
+	line := p.cur().line
+	p.pos++ // '{'
+	// Replication {N{x}}?
+	if p.cur().kind == tokNumber && p.pos+1 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "{" {
+		count, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		p.pos++ // inner '{'
+		x, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		if count <= 0 {
+			return nil, p.errorf("replication count must be positive")
+		}
+		return Repl{Count: count, X: x, Line: line}, nil
+	}
+	var parts []Expr
+	for {
+		e, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+		if p.atSymbol(",") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol("}"); err != nil {
+		return nil, err
+	}
+	return Concat{Parts: parts, Line: line}, nil
+}
+
+func (p *parser) parseSizedLiteral() (Expr, error) {
+	line := p.cur().line
+	text := p.next().text
+	quote := strings.IndexByte(text, '\'')
+	width, err := strconv.Atoi(text[:quote])
+	if err != nil {
+		return nil, fmt.Errorf("rtl: line %d: bad literal width in %q", line, text)
+	}
+	base := text[quote+1]
+	digits := strings.ReplaceAll(text[quote+2:], "_", "")
+	var radix int
+	switch base {
+	case 'h':
+		radix = 16
+	case 'b':
+		radix = 2
+	case 'd':
+		radix = 10
+	case 'o':
+		radix = 8
+	}
+	v, err := strconv.ParseUint(digits, radix, 64)
+	if err != nil {
+		return nil, fmt.Errorf("rtl: line %d: bad literal %q: %v", line, text, err)
+	}
+	if width <= 0 || width > 64 {
+		return nil, fmt.Errorf("rtl: line %d: literal width %d out of range", line, width)
+	}
+	if width < 64 && v >= 1<<uint(width) {
+		return nil, fmt.Errorf("rtl: line %d: literal %q does not fit in %d bits", line, text, width)
+	}
+	return Literal{Value: v, Width: width, Line: line}, nil
+}

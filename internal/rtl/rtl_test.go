@@ -1,0 +1,340 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"vpga/internal/netlist"
+)
+
+// compile is a test helper that fails the test on error.
+func compile(t *testing.T, src string) *netlist.Netlist {
+	t.Helper()
+	nl, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return nl
+}
+
+// evalComb drives a compiled combinational design once.
+func evalComb(t *testing.T, nl *netlist.Netlist, in map[string]bool) map[string]bool {
+	t.Helper()
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Step(in)
+}
+
+// busIn expands value v into per-bit inputs "name[i]".
+func busIn(in map[string]bool, name string, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		key := name
+		if width > 1 {
+			key = name + "[" + itoa(i) + "]"
+		}
+		in[key] = v>>uint(i)&1 == 1
+	}
+}
+
+// busOut collects per-bit outputs into a value.
+func busOut(out map[string]bool, name string, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		key := name
+		if width > 1 {
+			key = name + "[" + itoa(i) + "]"
+		}
+		if out[key] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                            // empty
+		"module m; endmodule",         // missing port list
+		"module m(input a) endmodule", // missing semicolons
+		"module m(input a); wire b = ; endmodule",                     // empty expr
+		"module m(input a); bogus endmodule",                          // bad item
+		"module m(input [0:7] a); endmodule",                          // ascending range
+		"module m(input a); wire w = 2'b111; assign w = a; endmodule", // literal overflow
+		"module m(input a, output y); assign y = a; assign y = a; endmodule",
+		"module m(input a, output y); assign y = x; endmodule",               // unknown signal
+		"module m(input a, output y); endmodule",                             // undriven output
+		"module m(input a, output y); reg r; assign y = a; endmodule",        // reg without always
+		"module m(input a, output y); assign y = a << a; endmodule",          // variable shift
+		"module m(input a, input a, output y); assign y = a; endmodule",      // dup decl
+		"module m(input [1:0] a, output y); assign y = a ? a : a; endmodule", // wide ternary cond
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCommentsAndLiterals(t *testing.T) {
+	nl := compile(t, `
+// line comment
+module lits(input a, output [7:0] y);
+  /* block
+     comment */
+  assign y = 8'hA5 ^ {8{a}};
+endmodule`)
+	in := map[string]bool{"a": false}
+	out := evalComb(t, nl, in)
+	if got := busOut(out, "y", 8); got != 0xA5 {
+		t.Errorf("y = %#x, want 0xA5", got)
+	}
+	out = evalComb(t, nl, map[string]bool{"a": true})
+	if got := busOut(out, "y", 8); got != 0x5A {
+		t.Errorf("y = %#x, want 0x5A", got)
+	}
+}
+
+func TestAdderExhaustive(t *testing.T) {
+	nl := compile(t, `
+module add4(input [3:0] a, input [3:0] b, output [4:0] s);
+  assign s = {1'b0, a} + {1'b0, b};
+endmodule`)
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			in := map[string]bool{}
+			busIn(in, "a", 4, a)
+			busIn(in, "b", 4, b)
+			out := sim.Step(in)
+			if got := busOut(out, "s", 5); got != a+b {
+				t.Fatalf("%d+%d = %d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+}
+
+func TestSubtractorExhaustive(t *testing.T) {
+	nl := compile(t, `
+module sub4(input [3:0] a, input [3:0] b, output [3:0] d);
+  assign d = a - b;
+endmodule`)
+	sim, _ := netlist.NewSimulator(nl)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			in := map[string]bool{}
+			busIn(in, "a", 4, a)
+			busIn(in, "b", 4, b)
+			out := sim.Step(in)
+			if got := busOut(out, "d", 4); got != (a-b)&0xF {
+				t.Fatalf("%d-%d = %d, want %d", a, b, got, (a-b)&0xF)
+			}
+		}
+	}
+}
+
+func TestBitwiseOpsAndPrecedence(t *testing.T) {
+	// & binds tighter than ^ binds tighter than |.
+	nl := compile(t, `
+module ops(input [2:0] a, input [2:0] b, input [2:0] c, output [2:0] y);
+  assign y = a | b ^ c & a;
+endmodule`)
+	sim, _ := netlist.NewSimulator(nl)
+	for v := uint64(0); v < 512; v++ {
+		a, b, c := v&7, v>>3&7, v>>6&7
+		in := map[string]bool{}
+		busIn(in, "a", 3, a)
+		busIn(in, "b", 3, b)
+		busIn(in, "c", 3, c)
+		out := sim.Step(in)
+		want := a | (b ^ (c & a))
+		if got := busOut(out, "y", 3); got != want {
+			t.Fatalf("v=%d: got %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestEqualityAndTernary(t *testing.T) {
+	nl := compile(t, `
+module eq(input [3:0] a, input [3:0] b, output [3:0] y, output ne);
+  assign y = (a == b) ? a : b;
+  assign ne = a != b;
+endmodule`)
+	sim, _ := netlist.NewSimulator(nl)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			in := map[string]bool{}
+			busIn(in, "a", 4, a)
+			busIn(in, "b", 4, b)
+			out := sim.Step(in)
+			want := b
+			if a == b {
+				want = a
+			}
+			if got := busOut(out, "y", 4); got != want {
+				t.Fatalf("a=%d b=%d: y=%d want %d", a, b, got, want)
+			}
+			if out["ne"] != (a != b) {
+				t.Fatalf("a=%d b=%d: ne=%v", a, b, out["ne"])
+			}
+		}
+	}
+}
+
+func TestShiftsConcatSlice(t *testing.T) {
+	nl := compile(t, `
+module sh(input [7:0] a, output [7:0] l, output [7:0] r, output [7:0] mix);
+  assign l = a << 2;
+  assign r = a >> 3;
+  assign mix = {a[3:0], a[7:4]};
+endmodule`)
+	sim, _ := netlist.NewSimulator(nl)
+	for _, a := range []uint64{0x00, 0xFF, 0xA5, 0x3C, 0x81} {
+		in := map[string]bool{}
+		busIn(in, "a", 8, a)
+		out := sim.Step(in)
+		if got := busOut(out, "l", 8); got != (a<<2)&0xFF {
+			t.Errorf("a=%#x: l=%#x", a, got)
+		}
+		if got := busOut(out, "r", 8); got != a>>3 {
+			t.Errorf("a=%#x: r=%#x", a, got)
+		}
+		if got := busOut(out, "mix", 8); got != ((a&0xF)<<4 | a>>4) {
+			t.Errorf("a=%#x: mix=%#x want %#x", a, got, (a&0xF)<<4|a>>4)
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	nl := compile(t, `
+module red(input [4:0] a, output andr, output orr, output xorr);
+  assign andr = &a;
+  assign orr = |a;
+  assign xorr = ^a;
+endmodule`)
+	sim, _ := netlist.NewSimulator(nl)
+	for a := uint64(0); a < 32; a++ {
+		in := map[string]bool{}
+		busIn(in, "a", 5, a)
+		out := sim.Step(in)
+		ones := 0
+		for i := 0; i < 5; i++ {
+			if a>>uint(i)&1 == 1 {
+				ones++
+			}
+		}
+		if out["andr"] != (ones == 5) || out["orr"] != (ones > 0) || out["xorr"] != (ones%2 == 1) {
+			t.Fatalf("a=%#x: %v", a, out)
+		}
+	}
+}
+
+func TestRegisterPipeline(t *testing.T) {
+	nl := compile(t, `
+module pipe(input clk, input [3:0] d, output [3:0] q2);
+  reg [3:0] s1;
+  reg [3:0] s2;
+  always s1 <= d;
+  always s2 <= s1;
+  assign q2 = s2;
+endmodule`)
+	sim, _ := netlist.NewSimulator(nl)
+	vals := []uint64{3, 7, 12, 1, 9}
+	var got []uint64
+	for _, v := range vals {
+		in := map[string]bool{"clk": false}
+		busIn(in, "d", 4, v)
+		out := sim.Step(in)
+		got = append(got, busOut(out, "q2", 4))
+	}
+	// Two-stage pipe: outputs are 0, 0, then vals shifted by 2.
+	want := []uint64{0, 0, 3, 7, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle %d: q2 = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	nl := compile(t, `
+module acc(input clk, input [7:0] d, output [7:0] q);
+  reg [7:0] total;
+  always total <= total + d;
+  assign q = total;
+endmodule`)
+	sim, _ := netlist.NewSimulator(nl)
+	sum := uint64(0)
+	for _, v := range []uint64{5, 10, 200, 60, 1} {
+		in := map[string]bool{"clk": false}
+		busIn(in, "d", 8, v)
+		out := sim.Step(in)
+		if got := busOut(out, "q", 8); got != sum {
+			t.Fatalf("q = %d, want %d", got, sum)
+		}
+		sum = (sum + v) & 0xFF
+	}
+}
+
+func TestWireInitAndUseBeforeAssign(t *testing.T) {
+	if _, err := Compile(`
+module m(input a, output y);
+  wire w = v & a;
+  wire v = a;
+  assign y = w;
+endmodule`); err == nil || !strings.Contains(err.Error(), "unknown signal") {
+		t.Errorf("use-before-decl not reported: %v", err)
+	}
+	if _, err := Compile(`
+module m(input a, output y);
+  wire v;
+  wire w = v & a;
+  assign v = a;
+  assign y = w;
+endmodule`); err == nil || !strings.Contains(err.Error(), "before it is assigned") {
+		t.Errorf("use-before-assign not reported: %v", err)
+	}
+}
+
+func TestOutputReadBack(t *testing.T) {
+	nl := compile(t, `
+module m(input a, input b, output y, output z);
+  assign y = a & b;
+  assign z = y ^ a;
+endmodule`)
+	out := evalComb(t, nl, map[string]bool{"a": true, "b": true})
+	if out["y"] != true || out["z"] != false {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestStatsReasonable(t *testing.T) {
+	nl := compile(t, `
+module add8(input [7:0] a, input [7:0] b, output [7:0] s);
+  assign s = a + b;
+endmodule`)
+	st := nl.ComputeStats()
+	if st.Inputs != 16 || st.Outputs != 8 {
+		t.Fatalf("IO = %d/%d", st.Inputs, st.Outputs)
+	}
+	// A ripple adder bit is 2 XOR + 2 AND + 1 OR = 5 gates.
+	if st.Gates < 30 || st.Gates > 45 {
+		t.Errorf("adder gate count = %d, expected ~40", st.Gates)
+	}
+}

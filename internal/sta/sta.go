@@ -1,0 +1,344 @@
+// Package sta implements graph-based static timing analysis over a
+// netlist of configuration instances, with optional post-layout wire
+// parasitics from the router (the paper measures "final performance
+// ... by running static timing analysis ... with data from post-layout
+// extraction", Sec. 3.1). It reports the Table 2 metric: the average
+// slack over the top-10 critical paths.
+package sta
+
+import (
+	"fmt"
+	"sort"
+
+	"vpga/internal/cells"
+	"vpga/internal/netlist"
+	"vpga/internal/place"
+	"vpga/internal/route"
+)
+
+// SetupPS is the flip-flop setup time (ps).
+const SetupPS = 50
+
+// Options configures the analysis.
+type Options struct {
+	// ClockPeriod is the timing target in ps.
+	ClockPeriod float64
+	// TopK is the number of worst endpoint slacks to report (default
+	// 10, matching the paper's "Path Slack 1-10").
+	TopK int
+}
+
+// PathElem is one stage of a reported critical path.
+type PathElem struct {
+	Node    netlist.NodeID
+	Type    string
+	Arrival float64
+}
+
+// Report is the analysis outcome.
+type Report struct {
+	// WorstSlack is min over all endpoints (ps).
+	WorstSlack float64
+	// TopSlacks lists the TopK worst endpoint slacks, worst first.
+	TopSlacks []float64
+	// AvgTopSlack averages TopSlacks — the Table 2 comparison metric.
+	AvgTopSlack float64
+	// MaxArrival is the longest path delay (ps).
+	MaxArrival float64
+	// CriticalPath walks the worst path, startpoint first.
+	CriticalPath []PathElem
+	// Arrival and Slack are per-node values (indexed by NodeID).
+	Arrival []float64
+	Slack   []float64
+}
+
+// timingParams resolves delay parameters for a node type.
+type timingParams struct {
+	intrinsic, drive, inputCap float64
+}
+
+func params(arch *cells.PLBArch, typ string) (timingParams, bool) {
+	if cfg := arch.Config(typ); cfg != nil {
+		return timingParams{cfg.Intrinsic, cfg.Drive, cfg.InputCap}, true
+	}
+	if c := arch.Library().Cell(typ); c != nil {
+		return timingParams{c.Intrinsic, c.Drive, c.InputCap}, true
+	}
+	return timingParams{}, false
+}
+
+// Analyze runs STA. prob and routes may be nil for pre-layout timing
+// (zero wire parasitics); when given, wire RC is taken from the routed
+// trees.
+func Analyze(nl *netlist.Netlist, arch *cells.PLBArch, prob *place.Problem, routes *route.Result, opts Options) (*Report, error) {
+	if opts.TopK == 0 {
+		opts.TopK = 10
+	}
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	// Map driver node -> (net index, sink object index -> position).
+	type netRef struct {
+		idx  int
+		sink map[int32]int
+	}
+	netOf := map[netlist.NodeID]netRef{}
+	if prob != nil && routes != nil {
+		for ni := range prob.Nets {
+			n := &prob.Nets[ni]
+			ref := netRef{idx: ni, sink: map[int32]int{}}
+			for k, oi := range n.Objs[1:] {
+				ref.sink[oi] = k
+			}
+			driver := n.Objs[0]
+			for _, nodeID := range prob.Objs[driver].Nodes {
+				netOf[nodeID] = ref
+			}
+		}
+	}
+
+	// wireDelayCap returns the wire delay from driver node f to sink
+	// node g and the driver's total wire capacitance.
+	wireDelayCap := func(f, g netlist.NodeID) (float64, float64) {
+		if prob == nil || routes == nil {
+			return 0, 0
+		}
+		ref, ok := netOf[f]
+		if !ok {
+			return 0, 0
+		}
+		sinkObj := prob.ObjIndex(g)
+		if sinkObj < 0 {
+			return 0, routes.NetCap(ref.idx)
+		}
+		k, ok := ref.sink[sinkObj]
+		if !ok {
+			// Same placement object (e.g. inside an FA macro): no wire.
+			return 0, routes.NetCap(ref.idx)
+		}
+		d, c := routes.WireRC(ref.idx, k)
+		return d, c
+	}
+
+	// Load capacitance per driver: sink pin caps + wire cap.
+	loadOf := func(id netlist.NodeID) float64 {
+		total := 0.0
+		for _, out := range nl.Fanouts(id) {
+			n := nl.Node(out)
+			switch n.Kind {
+			case netlist.KindGate, netlist.KindDFF:
+				if p, ok := params(arch, n.Type); ok {
+					total += p.inputCap
+				} else {
+					total += 2
+				}
+			case netlist.KindOutput:
+				total += 4 // pad load
+			}
+		}
+		if prob != nil && routes != nil {
+			if ref, ok := netOf[id]; ok {
+				total += routes.NetCap(ref.idx)
+			}
+		}
+		return total
+	}
+
+	arrival := make([]float64, nl.NumNodes())
+	worstFanin := make([]netlist.NodeID, nl.NumNodes())
+	for i := range worstFanin {
+		worstFanin[i] = netlist.Nil
+	}
+	for _, id := range order {
+		n := nl.Node(id)
+		switch n.Kind {
+		case netlist.KindInput, netlist.KindConst:
+			arrival[id] = 0
+		case netlist.KindDFF:
+			// Launch: clk→q plus load-dependent drive.
+			p, _ := params(arch, "FF")
+			if p.intrinsic == 0 {
+				p = timingParams{80, 2.5, 2.0}
+			}
+			arrival[id] = p.intrinsic + p.drive*loadOf(id)
+		case netlist.KindGate:
+			p, ok := params(arch, n.Type)
+			if !ok {
+				return nil, fmt.Errorf("sta: no timing for type %q", n.Type)
+			}
+			worst := 0.0
+			for _, f := range n.Fanins {
+				wd, _ := wireDelayCap(f, id)
+				if a := arrival[f] + wd; a > worst {
+					worst = a
+					worstFanin[id] = f
+				}
+			}
+			arrival[id] = worst + p.intrinsic + p.drive*loadOf(id)
+		case netlist.KindOutput:
+			wd, _ := wireDelayCap(n.Fanins[0], id)
+			arrival[id] = arrival[n.Fanins[0]] + wd
+			worstFanin[id] = n.Fanins[0]
+		}
+	}
+
+	// Endpoints: PO pads and DFF D pins.
+	type endpoint struct {
+		id      netlist.NodeID
+		arrival float64
+		slack   float64
+	}
+	var eps []endpoint
+	maxArr := 0.0
+	for _, n := range nl.Nodes() {
+		switch n.Kind {
+		case netlist.KindOutput:
+			a := arrival[n.ID]
+			eps = append(eps, endpoint{n.ID, a, opts.ClockPeriod - a})
+			if a > maxArr {
+				maxArr = a
+			}
+		case netlist.KindDFF:
+			f := n.Fanins[0]
+			wd, _ := wireDelayCap(f, n.ID)
+			a := arrival[f] + wd
+			eps = append(eps, endpoint{n.ID, a, opts.ClockPeriod - SetupPS - a})
+			if a > maxArr {
+				maxArr = a
+			}
+		}
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("sta: netlist %s has no timing endpoints", nl.Name)
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].slack < eps[j].slack })
+
+	rep := &Report{MaxArrival: maxArr, Arrival: arrival}
+	k := opts.TopK
+	if k > len(eps) {
+		k = len(eps)
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		rep.TopSlacks = append(rep.TopSlacks, eps[i].slack)
+		sum += eps[i].slack
+	}
+	rep.WorstSlack = eps[0].slack
+	rep.AvgTopSlack = sum / float64(k)
+
+	// Per-node slack by backward propagation of required times.
+	required := make([]float64, nl.NumNodes())
+	for i := range required {
+		required[i] = 1e18
+	}
+	for _, ep := range eps {
+		n := nl.Node(ep.id)
+		req := opts.ClockPeriod
+		if n.Kind == netlist.KindDFF {
+			req -= SetupPS
+		}
+		// The endpoint constraint applies to the data it samples.
+		if n.Kind == netlist.KindOutput || n.Kind == netlist.KindDFF {
+			if req < required[ep.id] {
+				required[ep.id] = req
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		n := nl.Node(id)
+		switch n.Kind {
+		case netlist.KindOutput, netlist.KindDFF:
+			for _, f := range n.Fanins {
+				wd, _ := wireDelayCap(f, id)
+				if r := required[id] - wd; r < required[f] {
+					required[f] = r
+				}
+			}
+		case netlist.KindGate:
+			p, _ := params(arch, n.Type)
+			stage := p.intrinsic + p.drive*loadOf(id)
+			for _, f := range n.Fanins {
+				wd, _ := wireDelayCap(f, id)
+				if r := required[id] - stage - wd; r < required[f] {
+					required[f] = r
+				}
+			}
+		}
+	}
+	rep.Slack = make([]float64, nl.NumNodes())
+	for _, n := range nl.Nodes() {
+		if required[n.ID] >= 1e17 {
+			rep.Slack[n.ID] = opts.ClockPeriod
+			continue
+		}
+		rep.Slack[n.ID] = required[n.ID] - arrival[n.ID]
+	}
+
+	// Critical path walk from the worst endpoint.
+	cur := eps[0].id
+	var path []PathElem
+	for cur != netlist.Nil {
+		n := nl.Node(cur)
+		path = append(path, PathElem{Node: cur, Type: n.Type, Arrival: arrival[cur]})
+		if n.Kind == netlist.KindDFF && len(path) > 1 {
+			break // crossed into the launching register
+		}
+		next := worstFanin[cur]
+		if next == netlist.Nil && n.Kind == netlist.KindDFF {
+			next = n.Fanins[0]
+		}
+		cur = next
+	}
+	// Reverse: startpoint first.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	rep.CriticalPath = path
+	return rep, nil
+}
+
+// NetWeights derives placement net weights from per-node slacks:
+// critical nets (slack near or below zero) get weight up to maxW.
+func NetWeights(nl *netlist.Netlist, prob *place.Problem, rep *Report, clock float64, maxW float64) []float64 {
+	w := make([]float64, len(prob.Nets))
+	for ni := range prob.Nets {
+		driverObj := prob.Nets[ni].Objs[0]
+		worst := clock
+		for _, nodeID := range prob.Objs[driverObj].Nodes {
+			if s := rep.Slack[nodeID]; s < worst {
+				worst = s
+			}
+		}
+		crit := 1 - worst/clock
+		if crit < 0 {
+			crit = 0
+		}
+		if crit > 1 {
+			crit = 1
+		}
+		w[ni] = 1 + (maxW-1)*crit
+	}
+	return w
+}
+
+// ObjCriticality derives per-object criticality for the packer.
+func ObjCriticality(nl *netlist.Netlist, prob *place.Problem, rep *Report, clock float64) []float64 {
+	out := make([]float64, len(prob.Objs))
+	for i := range prob.Objs {
+		worst := clock
+		for _, nodeID := range prob.Objs[i].Nodes {
+			if s := rep.Slack[nodeID]; s < worst {
+				worst = s
+			}
+		}
+		crit := 1 - worst/clock
+		if crit < 0 {
+			crit = 0
+		}
+		out[i] = crit
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package techmap
+
+import (
+	"fmt"
+
+	"vpga/internal/aig"
+	"vpga/internal/logic"
+	"vpga/internal/netlist"
+)
+
+// emit materializes the chosen covering as a gate-level netlist over
+// the component library, re-attaching the sequential shell (flip-flops,
+// port names) recorded in the Design.
+func (m *Mapper) emit(d *aig.Design) (*Result, error) {
+	g := m.g
+	nl := netlist.New(d.Name)
+	nodeOf := make([]netlist.NodeID, g.NumNodes())
+	for i := range nodeOf {
+		nodeOf[i] = netlist.Nil
+	}
+
+	// Inputs: design PIs then flip-flop Q outputs.
+	pis := g.PIs()
+	var ffIDs []netlist.NodeID
+	for i, idx := range pis {
+		if i < len(d.PINames) {
+			nodeOf[idx] = nl.AddInput(d.PINames[i])
+		} else {
+			ff := nl.AddDFF(d.FFNames[i-len(d.PINames)], 0)
+			nl.SetFanin(ff, 0, ff) // patched once the D cone is built
+			nodeOf[idx] = ff
+			ffIDs = append(ffIDs, ff)
+		}
+	}
+
+	var constNode netlist.NodeID = netlist.Nil
+	getConst := func(v bool) netlist.NodeID {
+		if constNode == netlist.Nil {
+			constNode = nl.AddConst(false)
+		}
+		if !v {
+			return constNode
+		}
+		// Use an INV on const-0 for const-1 (rare).
+		return nl.AddGate("INV", logic.VarTT(1, 0).Not(), constNode)
+	}
+
+	counts := map[string]int{}
+	area := 0.0
+	lib := m.arch.Library()
+
+	var build func(n int) netlist.NodeID
+	build = func(n int) netlist.NodeID {
+		if nodeOf[n] != netlist.Nil {
+			return nodeOf[n]
+		}
+		if n == 0 {
+			id := getConst(false)
+			nodeOf[n] = id
+			return id
+		}
+		st := &m.state[n]
+		if st.best <= 0 || st.best >= len(st.cuts) {
+			panic(fmt.Sprintf("techmap: node %d has no covering choice", n))
+		}
+		c := &st.cuts[st.best]
+		fanins := make([]netlist.NodeID, c.n)
+		for i, l := range c.slice() {
+			fanins[i] = build(int(l))
+		}
+		id := nl.AddGate(st.cell.Name, c.fn, fanins...)
+		counts[st.cell.Name]++
+		area += st.cell.Area
+		nodeOf[n] = id
+		return id
+	}
+
+	invCache := map[netlist.NodeID]netlist.NodeID{}
+	invCell := lib.Cell("INV")
+	resolve := func(l aig.Lit) netlist.NodeID {
+		base := build(l.Node())
+		if !l.Neg() {
+			return base
+		}
+		if v, ok := invCache[base]; ok {
+			return v
+		}
+		v := nl.AddGate("INV", logic.VarTT(1, 0).Not(), base)
+		counts["INV"]++
+		area += invCell.Area
+		invCache[base] = v
+		return v
+	}
+
+	for i, name := range d.PONames {
+		nl.AddOutput(name, resolve(g.PO(i)))
+	}
+	for i, ff := range ffIDs {
+		nl.SetFanin(ff, 0, resolve(g.PO(len(d.PONames)+i)))
+	}
+	area += float64(len(ffIDs)) * lib.Cell("DFF").Area
+
+	nl.Sweep()
+	nl.Compact()
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("techmap: emitted netlist invalid: %w", err)
+	}
+
+	depth := 0.0
+	for i := 0; i < g.NumPOs(); i++ {
+		if a := m.state[g.PO(i).Node()].arrival; a > depth {
+			depth = a
+		}
+	}
+	return &Result{Netlist: nl, Area: area, Depth: depth, CellCounts: counts}, nil
+}

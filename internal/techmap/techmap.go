@@ -1,0 +1,349 @@
+// Package techmap implements cut-based technology mapping from the
+// optimized AIG onto the restricted component library of a PLB
+// architecture (the role Design Compiler plays in the paper's Figure 6
+// flow). It enumerates priority cuts of up to three leaves per AND
+// node, Boolean-matches each cut function against the via-configurable
+// component cells, and covers the graph with a delay-oriented dynamic
+// program followed by area-flow recovery passes.
+package techmap
+
+import (
+	"fmt"
+	"sort"
+
+	"vpga/internal/aig"
+	"vpga/internal/cells"
+	"vpga/internal/logic"
+	"vpga/internal/netlist"
+)
+
+// K is the cut size limit: PLB components compute functions of at most
+// three inputs.
+const K = 3
+
+// maxCutsPerNode bounds the priority-cut list kept per node.
+const maxCutsPerNode = 10
+
+// Options tunes the mapper.
+type Options struct {
+	// AreaPasses is the number of area-recovery refinement passes after
+	// the delay-oriented pass (default 2).
+	AreaPasses int
+}
+
+// Result is a mapped design.
+type Result struct {
+	Netlist *netlist.Netlist
+	// Area is the summed component cell area (NAND2 equivalents).
+	Area float64
+	// Depth is the worst-case intrinsic path delay estimate used by the
+	// covering DP (ps, excluding wire loads).
+	Depth float64
+	// CellCounts tallies mapped instances by component type.
+	CellCounts map[string]int
+}
+
+// matchTable is the 256-entry Boolean matching table: for every
+// 3-input-normalized function, the cheapest component cell realizing
+// it.
+type matchTable struct {
+	cell [256]*cells.Cell
+}
+
+func buildMatchTable(arch *cells.PLBArch) *matchTable {
+	lib := arch.Library()
+	// Components present in the architecture's slots (mapping targets),
+	// excluding sequential cells.
+	present := map[string]bool{}
+	for _, s := range arch.Slots {
+		present[s.Component] = true
+	}
+	var comps []*cells.Cell
+	for _, c := range lib.Cells() {
+		// Buffers and inverters are interconnect resources, not logic
+		// mapping targets.
+		if c.Name == "BUF" || c.Name == "INV" {
+			continue
+		}
+		if present[c.Name] && !c.Seq {
+			comps = append(comps, c)
+		}
+	}
+	// Prefer faster, then smaller cells.
+	sort.SliceStable(comps, func(i, j int) bool {
+		if comps[i].Intrinsic != comps[j].Intrinsic {
+			return comps[i].Intrinsic < comps[j].Intrinsic
+		}
+		return comps[i].Area < comps[j].Area
+	})
+	mt := &matchTable{}
+	for bits := 0; bits < 256; bits++ {
+		fn := logic.NewTT(3, uint64(bits))
+		for _, c := range comps {
+			if c.Implements(fn) {
+				mt.cell[bits] = c
+				break
+			}
+		}
+	}
+	return mt
+}
+
+func (mt *matchTable) match(fn logic.TT) *cells.Cell {
+	return mt.cell[fn.Extend(3).Bits]
+}
+
+// cut is a set of at most K leaf node indexes, sorted.
+type cut struct {
+	leaves [K]int32
+	n      int8
+	fn     logic.TT // function of the root in terms of the leaves
+}
+
+func (c *cut) slice() []int32 { return c.leaves[:c.n] }
+
+func mergeCuts(a, b *cut) (cut, bool) {
+	var out cut
+	i, j := 0, 0
+	for i < int(a.n) || j < int(b.n) {
+		if out.n == K {
+			return cut{}, false
+		}
+		var v int32
+		switch {
+		case i == int(a.n):
+			v = b.leaves[j]
+			j++
+		case j == int(b.n):
+			v = a.leaves[i]
+			i++
+		case a.leaves[i] < b.leaves[j]:
+			v = a.leaves[i]
+			i++
+		case a.leaves[i] > b.leaves[j]:
+			v = b.leaves[j]
+			j++
+		default:
+			v = a.leaves[i]
+			i++
+			j++
+		}
+		out.leaves[out.n] = v
+		out.n++
+	}
+	return out, true
+}
+
+// cutFunc computes the function of literal l in terms of the cut
+// leaves: leaf i is variable i.
+func cutFunc(g *aig.AIG, l aig.Lit, c *cut) logic.TT {
+	n := int(c.n)
+	memo := map[int]logic.TT{}
+	for i := 0; i < n; i++ {
+		memo[int(c.leaves[i])] = logic.VarTT(n, i)
+	}
+	var eval func(node int) logic.TT
+	eval = func(node int) logic.TT {
+		if t, ok := memo[node]; ok {
+			return t
+		}
+		if node == 0 {
+			return logic.ConstTT(n, false)
+		}
+		if !g.IsAnd(node) {
+			// A PI outside the leaf set: the cut does not actually cover
+			// this cone — flagged by the caller via DependsOn checks.
+			panic(fmt.Sprintf("techmap: cut of node misses PI %d", node))
+		}
+		f0, f1 := g.Fanins(node)
+		a := eval(f0.Node())
+		if f0.Neg() {
+			a = a.Not()
+		}
+		b := eval(f1.Node())
+		if f1.Neg() {
+			b = b.Not()
+		}
+		t := a.And(b)
+		memo[node] = t
+		return t
+	}
+	t := eval(l.Node())
+	if l.Neg() {
+		t = t.Not()
+	}
+	return t
+}
+
+type nodeState struct {
+	cuts     []cut
+	arrival  float64 // best arrival under current covering choice
+	best     int     // index of chosen cut in cuts
+	cell     *cells.Cell
+	areaFlow float64
+	nRefs    float64 // estimated fanout refs for area flow
+}
+
+// Mapper carries the covering state.
+type Mapper struct {
+	g     *aig.AIG
+	arch  *cells.PLBArch
+	mt    *matchTable
+	state []nodeState
+	opts  Options
+}
+
+// Map covers the design's AIG with component cells of the architecture
+// and rebuilds a gate-level netlist including the sequential shell.
+func Map(d *aig.Design, arch *cells.PLBArch, opts Options) (*Result, error) {
+	if opts.AreaPasses == 0 {
+		opts.AreaPasses = 2
+	}
+	m := &Mapper{g: d.G, arch: arch, mt: buildMatchTable(arch), opts: opts}
+	m.state = make([]nodeState, d.G.NumNodes())
+	m.estimateRefs()
+	m.enumerateAndChoose(false)
+	for p := 0; p < opts.AreaPasses; p++ {
+		m.enumerateAndChoose(true)
+	}
+	return m.emit(d)
+}
+
+// estimateRefs seeds fanout estimates used by area flow.
+func (m *Mapper) estimateRefs() {
+	refs := make([]float64, m.g.NumNodes())
+	for n := 1; n < m.g.NumNodes(); n++ {
+		if !m.g.IsAnd(n) {
+			continue
+		}
+		f0, f1 := m.g.Fanins(n)
+		refs[f0.Node()]++
+		refs[f1.Node()]++
+	}
+	for i := 0; i < m.g.NumPOs(); i++ {
+		refs[m.g.PO(i).Node()]++
+	}
+	for n := range refs {
+		if refs[n] < 1 {
+			refs[n] = 1
+		}
+		m.state[n].nRefs = refs[n]
+	}
+}
+
+// enumerateAndChoose runs one covering pass. In area mode the cut
+// choice minimizes area flow subject to not worsening arrival beyond
+// the global required time; otherwise it minimizes arrival.
+func (m *Mapper) enumerateAndChoose(areaMode bool) {
+	g := m.g
+	for n := 0; n < g.NumNodes(); n++ {
+		st := &m.state[n]
+		if !g.IsAnd(n) {
+			st.arrival = 0
+			st.areaFlow = 0
+			if len(st.cuts) == 0 {
+				st.cuts = []cut{{leaves: [K]int32{int32(n)}, n: 1, fn: logic.VarTT(1, 0)}}
+			}
+			continue
+		}
+		if len(st.cuts) == 0 {
+			m.buildCuts(n)
+		}
+		m.chooseCut(n, areaMode)
+	}
+}
+
+func (m *Mapper) buildCuts(n int) {
+	g := m.g
+	f0, f1 := g.Fanins(n)
+	s0, s1 := &m.state[f0.Node()], &m.state[f1.Node()]
+	seen := map[[K]int32]bool{}
+	var list []cut
+	for i := range s0.cuts {
+		for j := range s1.cuts {
+			merged, ok := mergeCuts(&s0.cuts[i], &s1.cuts[j])
+			if !ok {
+				continue
+			}
+			if seen[merged.leaves] {
+				continue
+			}
+			seen[merged.leaves] = true
+			merged.fn = cutFunc(g, aig.MkLit(n, false), &merged)
+			if m.mt.match(merged.fn) == nil {
+				continue // no component implements this cut
+			}
+			list = append(list, merged)
+		}
+	}
+	// The trivial fanin cut is always matchable (an AND with input
+	// inversions); it is among the merged cuts of the fanins' self
+	// cuts, so list is never empty here. Rank and truncate.
+	sort.SliceStable(list, func(i, j int) bool {
+		ai := m.cutArrival(&list[i])
+		aj := m.cutArrival(&list[j])
+		if ai != aj {
+			return ai < aj
+		}
+		return list[i].n < list[j].n
+	})
+	if len(list) > maxCutsPerNode {
+		list = list[:maxCutsPerNode]
+	}
+	// The self cut {n} is kept at index 0 so that consumers can merge
+	// over n as a leaf; it is never a covering choice for n itself.
+	self := cut{n: 1, fn: logic.VarTT(1, 0)}
+	self.leaves[0] = int32(n)
+	m.state[n].cuts = append([]cut{self}, list...)
+}
+
+func (m *Mapper) cutArrival(c *cut) float64 {
+	cell := m.mt.match(c.fn)
+	worst := 0.0
+	for _, l := range c.slice() {
+		if a := m.state[l].arrival; a > worst {
+			worst = a
+		}
+	}
+	return worst + cell.Intrinsic
+}
+
+func (m *Mapper) cutAreaFlow(c *cut) float64 {
+	cell := m.mt.match(c.fn)
+	af := cell.Area
+	for _, l := range c.slice() {
+		af += m.state[l].areaFlow / m.state[l].nRefs
+	}
+	return af
+}
+
+func (m *Mapper) chooseCut(n int, areaMode bool) {
+	st := &m.state[n]
+	bestIdx, bestArr, bestAF := -1, 0.0, 0.0
+	// Index 0 is the self cut — usable by consumers, not a covering
+	// choice for n itself.
+	for i := 1; i < len(st.cuts); i++ {
+		arr := m.cutArrival(&st.cuts[i])
+		af := m.cutAreaFlow(&st.cuts[i])
+		better := false
+		if bestIdx < 0 {
+			better = true
+		} else if areaMode {
+			// Allow small arrival slack in exchange for area.
+			if af < bestAF-1e-9 && arr <= bestArr*1.10+1e-9 {
+				better = true
+			} else if arr < bestArr*0.90 {
+				better = true
+			}
+		} else if arr < bestArr-1e-9 || (arr == bestArr && af < bestAF) {
+			better = true
+		}
+		if better {
+			bestIdx, bestArr, bestAF = i, arr, af
+		}
+	}
+	st.best = bestIdx
+	st.arrival = bestArr
+	st.areaFlow = bestAF
+	st.cell = m.mt.match(st.cuts[bestIdx].fn)
+}

@@ -1,0 +1,295 @@
+package techmap
+
+import (
+	"testing"
+
+	"vpga/internal/aig"
+	"vpga/internal/cells"
+	"vpga/internal/logic"
+	"vpga/internal/netlist"
+	"vpga/internal/rtl"
+)
+
+func mapSource(t *testing.T, src string, arch *cells.PLBArch) (*netlist.Netlist, *Result) {
+	t.Helper()
+	nl, err := rtl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := aig.FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Optimize(3)
+	res, err := Map(d, arch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, res
+}
+
+const aluSrc = `
+module mini(input clk, input [3:0] a, input [3:0] b, input [1:0] op, output [3:0] y);
+  wire [3:0] sum = a + b;
+  wire [3:0] lg = op[0] ? (a & b) : (a ^ b);
+  reg [3:0] r;
+  always r <= op[1] ? sum : lg;
+  assign y = r;
+endmodule`
+
+func TestMapEquivalenceBothArchs(t *testing.T) {
+	for _, arch := range []*cells.PLBArch{cells.LUTPLB(), cells.GranularPLB()} {
+		ref, res := mapSource(t, aluSrc, arch)
+		if err := netlist.Equivalent(ref, res.Netlist, 16, 8, 42); err != nil {
+			t.Fatalf("%s: mapped netlist not equivalent: %v", arch.Name, err)
+		}
+	}
+}
+
+func TestMapUsesOnlyArchComponents(t *testing.T) {
+	for _, arch := range []*cells.PLBArch{cells.LUTPLB(), cells.GranularPLB()} {
+		allowed := map[string]bool{"INV": true, "BUF": true, "DFF": true}
+		for _, s := range arch.Slots {
+			allowed[s.Component] = true
+		}
+		_, res := mapSource(t, aluSrc, arch)
+		for typ := range res.CellCounts {
+			if !allowed[typ] {
+				t.Errorf("%s: mapped to foreign cell %s", arch.Name, typ)
+			}
+		}
+		for _, n := range res.Netlist.Nodes() {
+			if n.Kind == netlist.KindGate && !allowed[n.Type] {
+				t.Errorf("%s: netlist contains foreign gate %s", arch.Name, n.Type)
+			}
+		}
+	}
+}
+
+func TestGranularAvoidsLUTs(t *testing.T) {
+	_, res := mapSource(t, aluSrc, cells.GranularPLB())
+	if res.CellCounts["LUT3"] != 0 {
+		t.Errorf("granular mapping used %d LUTs", res.CellCounts["LUT3"])
+	}
+	if res.CellCounts["MUX2"]+res.CellCounts["XOA"] == 0 {
+		t.Error("granular mapping used no MUXes for a design with XORs")
+	}
+}
+
+func TestLUTArchUsesLUTsForXor(t *testing.T) {
+	src := `
+module x(input [2:0] a, output y);
+  assign y = a[0] ^ a[1] ^ a[2];
+endmodule`
+	_, res := mapSource(t, src, cells.LUTPLB())
+	if res.CellCounts["LUT3"] == 0 {
+		t.Error("XOR3 should require a LUT in the LUT-based library")
+	}
+	_, res2 := mapSource(t, src, cells.GranularPLB())
+	if res2.CellCounts["LUT3"] != 0 {
+		t.Error("granular arch must not use LUTs")
+	}
+	// Same function must still be mappable: via MUXes.
+	if res2.CellCounts["MUX2"]+res2.CellCounts["XOA"] < 2 {
+		t.Errorf("XOR3 on granular should need at least two MUX stages: %v", res2.CellCounts)
+	}
+}
+
+func TestMatchTable(t *testing.T) {
+	mtG := buildMatchTable(cells.GranularPLB())
+	mtL := buildMatchTable(cells.LUTPLB())
+	// NAND3 matches ND3WI on both.
+	if c := mtG.match(logic.TTNand3); c == nil || c.Name != "ND3WI" {
+		t.Errorf("granular NAND3 match = %v", c)
+	}
+	if c := mtL.match(logic.TTNand3); c == nil || c.Name != "ND3WI" {
+		t.Errorf("lut NAND3 match = %v", c)
+	}
+	// XOR2 matches a MUX on granular, the LUT on the LUT arch (ND3WI
+	// cannot do it).
+	x2 := logic.TTXor2.Extend(3)
+	if c := mtG.match(x2); c == nil || (c.Name != "XOA" && c.Name != "MUX2") {
+		t.Errorf("granular XOR2 match = %v", c)
+	}
+	if c := mtL.match(x2); c == nil || c.Name != "LUT3" {
+		t.Errorf("lut XOR2 match = %v", c)
+	}
+	// XOR3 matches only the LUT (single-cell table).
+	if c := mtG.match(logic.TTXor3); c != nil {
+		t.Errorf("granular XOR3 single-cell match = %v, want none", c)
+	}
+	if c := mtL.match(logic.TTXor3); c == nil || c.Name != "LUT3" {
+		t.Errorf("lut XOR3 match = %v", c)
+	}
+}
+
+func TestCutMerge(t *testing.T) {
+	a := cut{n: 2}
+	a.leaves = [K]int32{1, 5}
+	b := cut{n: 2}
+	b.leaves = [K]int32{3, 5}
+	m, ok := mergeCuts(&a, &b)
+	if !ok || m.n != 3 || m.leaves != [K]int32{1, 3, 5} {
+		t.Fatalf("merge = %v ok=%v", m, ok)
+	}
+	c := cut{n: 2}
+	c.leaves = [K]int32{7, 9}
+	if _, ok := mergeCuts(&m, &c); ok {
+		t.Fatal("oversize merge accepted")
+	}
+}
+
+func TestDepthAndAreaReported(t *testing.T) {
+	_, res := mapSource(t, aluSrc, cells.GranularPLB())
+	if res.Area <= 0 || res.Depth <= 0 {
+		t.Fatalf("area=%v depth=%v", res.Area, res.Depth)
+	}
+	total := 0
+	for _, n := range res.CellCounts {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no cells mapped")
+	}
+}
+
+func TestAreaRecoveryDoesNotBreakEquivalence(t *testing.T) {
+	src := `
+module w(input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = (a + b) ^ (a & b);
+endmodule`
+	nl, err := rtl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := aig.FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(d, cells.GranularPLB(), Options{AreaPasses: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.Equivalent(nl, res.Netlist, 24, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapSequentialShellPreserved(t *testing.T) {
+	ref, res := mapSource(t, aluSrc, cells.LUTPLB())
+	rs, ms := ref.ComputeStats(), res.Netlist.ComputeStats()
+	if rs.DFFs != ms.DFFs {
+		t.Fatalf("FF count changed: %d -> %d", rs.DFFs, ms.DFFs)
+	}
+	rpi, rpo := ref.PortNames()
+	mpi, mpo := res.Netlist.PortNames()
+	if len(rpi) != len(mpi) || len(rpo) != len(mpo) {
+		t.Fatal("port interface changed")
+	}
+}
+
+func TestMapDepthNoWorseThanAIGTimesLUT(t *testing.T) {
+	// The delay-oriented cover cannot be deeper than one LUT per AIG
+	// level (each AND node is coverable by its trivial cut).
+	nl, err := rtl.Compile(aluSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := aig.FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Optimize(3)
+	arch := cells.LUTPLB()
+	res, err := Map(d, arch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut := arch.Library().Cell("LUT3")
+	bound := float64(d.G.MaxLevel()) * lut.Intrinsic
+	if res.Depth > bound+1e-9 {
+		t.Fatalf("mapped depth %.1f exceeds trivial bound %.1f", res.Depth, bound)
+	}
+}
+
+func TestAreaPassesReduceArea(t *testing.T) {
+	nl, err := rtl.Compile(aluSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := aig.FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Optimize(2)
+	arch := cells.GranularPLB()
+	delayOnly, err := Map(d, arch, Options{AreaPasses: -1})
+	if err != nil {
+		// -1 is not supported; use the minimal configuration instead.
+		delayOnly, err = Map(d, arch, Options{AreaPasses: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered, err := Map(d, arch, Options{AreaPasses: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Area > delayOnly.Area*1.02 {
+		t.Errorf("area recovery grew area: %.1f -> %.1f", delayOnly.Area, recovered.Area)
+	}
+}
+
+func TestConstantOutputsMap(t *testing.T) {
+	src := `
+module c(input a, output y0, output y1, output ya);
+  assign y0 = a & ~a;
+  assign y1 = a | ~a;
+  assign ya = a;
+endmodule`
+	nl, err := rtl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := aig.FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Optimize(2)
+	res, err := Map(d, cells.GranularPLB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.Equivalent(nl, res.Netlist, 4, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapPurelySequentialDesign(t *testing.T) {
+	src := `
+module s(input clk, input d, output q);
+  reg r1;
+  reg r2;
+  always r1 <= d;
+  always r2 <= r1;
+  assign q = r2;
+endmodule`
+	nl, err := rtl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := aig.FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(d, cells.LUTPLB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.Equivalent(nl, res.Netlist, 6, 6, 8); err != nil {
+		t.Fatal(err)
+	}
+	if res.Netlist.ComputeStats().DFFs != 2 {
+		t.Fatal("FFs lost")
+	}
+}

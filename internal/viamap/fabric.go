@@ -1,0 +1,107 @@
+package viamap
+
+import (
+	"fmt"
+	"sync"
+
+	"vpga/internal/cells"
+	"vpga/internal/logic"
+	"vpga/internal/netlist"
+)
+
+// programCache memoizes personalizations: each configuration has at
+// most 256 distinct 3-input functions.
+var (
+	cacheMu      sync.Mutex
+	programCache = map[string]*InstanceProgram{}
+)
+
+// CachedProgram is Program with global memoization.
+func CachedProgram(cfgName string, fn uint64) (*InstanceProgram, error) {
+	key := fmt.Sprintf("%s/%02x", cfgName, fn)
+	cacheMu.Lock()
+	if p, ok := programCache[key]; ok {
+		cacheMu.Unlock()
+		return p, nil
+	}
+	cacheMu.Unlock()
+	p, err := Program(cfgName, logic.NewTT(3, fn))
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	programCache[key] = p
+	cacheMu.Unlock()
+	return p, nil
+}
+
+// FabricReport summarizes the via personalization of a packed design.
+type FabricReport struct {
+	// PopulatedVias is the total via count across all instances,
+	// including polarity-buffer and flip-flop hookup vias.
+	PopulatedVias int
+	// PotentialPerPLB is the tile's potential via-site count.
+	PotentialPerPLB int
+	// SRAMBitsEquivalent is the configuration storage an SRAM fabric
+	// would need for the same programmability (one bit per site).
+	SRAMBitsEquivalent int
+	// ByConfig tallies populated vias per configuration name.
+	ByConfig map[string]int
+	// Instances counts personalized instances.
+	Instances int
+}
+
+// FabricVias personalizes every configuration instance of the
+// implementation netlist and tallies via counts. FA macro pairs share
+// their propagate stage; the shared cell is counted once.
+func FabricVias(nl *netlist.Netlist, arch *cells.PLBArch) (*FabricReport, error) {
+	rep := &FabricReport{
+		PotentialPerPLB:    PotentialSites(arch),
+		SRAMBitsEquivalent: SRAMBitsEquivalent(arch),
+		ByConfig:           map[string]int{},
+	}
+	groupSeen := map[int32]bool{}
+	for _, n := range nl.Nodes() {
+		switch n.Kind {
+		case netlist.KindDFF:
+			// D input column via + Q output via.
+			rep.PopulatedVias += 2
+			rep.ByConfig["FF"] += 2
+			rep.Instances++
+			continue
+		case netlist.KindGate:
+		default:
+			continue
+		}
+		if n.Type == "INV" || n.Type == "BUF" {
+			// Polarity/repeater buffers: one tap via.
+			rep.PopulatedVias++
+			rep.ByConfig[n.Type]++
+			rep.Instances++
+			continue
+		}
+		fn := normalize3(n.Func)
+		p, err := CachedProgram(n.Type, fn.Bits)
+		if err != nil {
+			return nil, fmt.Errorf("viamap: node %d (%s): %w", n.ID, n.Type, err)
+		}
+		v := p.Vias()
+		if n.Type == "FA" && n.Group != 0 {
+			if groupSeen[n.Group] {
+				// Second half of the macro: the propagate XOA is shared;
+				// do not recount its vias.
+				for i := range p.Cells {
+					if p.Cells[i].Stage == "xoa" {
+						v -= p.Cells[i].Vias()
+						break
+					}
+				}
+			}
+			groupSeen[n.Group] = true
+		}
+		rep.PopulatedVias += v
+		rep.ByConfig[n.Type] += v
+		rep.Instances++
+	}
+	return rep, nil
+}

@@ -1,0 +1,210 @@
+// Package vpga is the public API of the VPGA CAD system, a
+// from-scratch reproduction of "Exploring Logic Block Granularity for
+// Regular Fabrics" (Koorapaty et al., DATE 2004).
+//
+// A Via-Patterned Gate Array (VPGA) is a regular fabric: an array of
+// patternable logic blocks (PLBs) customized by via placement, with
+// ASIC-style routing on the metal layers above the array. This package
+// exposes the complete implementation flow of the paper's Figure 6 —
+//
+//	RTL → synthesis (AIG) → technology mapping → regularity-driven
+//	compaction → placement → packing into the PLB array → routing →
+//	post-layout static timing
+//
+// — together with the two PLB architectures under comparison (the
+// LUT-based PLB of Fig. 1 and the granular PLB of Fig. 4), the
+// Section 2.1 function-class analysis, the four benchmark generators,
+// and the experiment drivers that regenerate Tables 1–2.
+//
+// Quick start:
+//
+//	design := vpga.ALU(16)
+//	report, err := vpga.Run(design, vpga.Options{
+//	    Arch: vpga.GranularPLB(),
+//	    Flow: vpga.FlowB,
+//	})
+//
+// See examples/ for runnable programs and DESIGN.md for the system
+// inventory.
+package vpga
+
+import (
+	"io"
+
+	"vpga/internal/bench"
+	"vpga/internal/cells"
+	"vpga/internal/core"
+	"vpga/internal/logic"
+	"vpga/internal/netlist"
+	"vpga/internal/rtl"
+)
+
+// Design is a named RTL benchmark.
+type Design = bench.Design
+
+// PLBArch describes a patternable-logic-block architecture.
+type PLBArch = cells.PLBArch
+
+// PLBConfig is one logic configuration of Section 2.3 (MX, ND3, NDMX,
+// XOAMX, XOANDMX, LUT, FA, FF).
+type PLBConfig = cells.Config
+
+// Config (an alias of the flow configuration) parameterizes one run.
+type Config = core.Config
+
+// Options is a friendlier name for Config in user code.
+type Options = core.Config
+
+// Report carries every figure of merit from a flow run.
+type Report = core.Report
+
+// FlowKind selects the paper's flow a (ASIC-style, no packing) or
+// flow b (full flow with PLB-array packing).
+type FlowKind = core.FlowKind
+
+// Flow selectors.
+const (
+	FlowA = core.FlowA
+	FlowB = core.FlowB
+)
+
+// Netlist is the gate-level intermediate representation.
+type Netlist = netlist.Netlist
+
+// GranularPLB returns the paper's Figure 4 architecture: two 2:1
+// MUXes, the XOA MUX, one ND3WI gate and a flip-flop.
+func GranularPLB() *PLBArch { return cells.GranularPLB() }
+
+// LUTPLB returns the Figure 1 baseline: one 3-LUT, two ND3WI gates
+// and a flip-flop.
+func LUTPLB() *PLBArch { return cells.LUTPLB() }
+
+// CustomPLB builds a parameterized architecture for granularity
+// exploration: nMux 2:1 MUXes, nXoa XOA MUXes, nNand ND3WI gates,
+// nLut 3-LUTs and nFF flip-flops.
+func CustomPLB(name string, nMux, nXoa, nNand, nLut, nFF int) *PLBArch {
+	return cells.CustomPLB(name, nMux, nXoa, nNand, nLut, nFF)
+}
+
+// Run pushes one design through the implementation flow.
+func Run(d Design, cfg Config) (*Report, error) { return core.RunFlow(d, cfg) }
+
+// Compile parses and elaborates RTL source (the dialect documented in
+// internal/rtl) into a gate-level netlist.
+func Compile(src string) (*Netlist, error) { return rtl.Compile(src) }
+
+// Benchmark generators (the paper's Table 1/2 designs).
+
+// ALU returns a registered W-bit arithmetic-logic unit.
+func ALU(width int) Design { return bench.ALU(width) }
+
+// FPU returns a floating-point add/multiply datapath with an M-bit
+// mantissa (M = 24 approximates the paper's ≈24k-gate FPU).
+func FPU(mantissa int) Design { return bench.FPU(mantissa) }
+
+// Switch returns a P-port, W-bit, depth-D network switch (12×32×4
+// approximates the paper's ≈80k-gate design).
+func Switch(ports, width, depth int) Design { return bench.Switch(ports, width, depth) }
+
+// Firewire returns the control/sequential-dominated link controller.
+func Firewire(nregs int) Design { return bench.Firewire(nregs) }
+
+// Suite bundles the four benchmarks.
+type Suite = bench.Suite
+
+// PaperSuite returns the four designs at paper-equivalent sizes.
+func PaperSuite() Suite { return bench.PaperSuite() }
+
+// TestSuite returns miniature versions for fast experimentation.
+func TestSuite() Suite { return bench.TestSuite() }
+
+// Experiments.
+
+// Matrix is the 4-design × 2-architecture × 2-flow experiment of
+// Tables 1 and 2.
+type Matrix = core.Matrix
+
+// MatrixOptions configures RunMatrix.
+type MatrixOptions = core.MatrixOptions
+
+// RunMatrix executes the full Table 1/2 experiment.
+func RunMatrix(s Suite, opts MatrixOptions) (*Matrix, error) { return core.RunMatrix(s, opts) }
+
+// Claims holds the derived Section 3.2 statistics.
+type Claims = core.Claims
+
+// Fig2Text renders the Section 2.1 / Figure 2 function-class analysis.
+func Fig2Text() string { return core.Fig2Text() }
+
+// SweepPoint is one granularity-sweep sample.
+type SweepPoint = core.SweepPoint
+
+// GranularitySweep runs a design across a family of PLB architectures.
+func GranularitySweep(d Design, archs []*PLBArch, seed int64) ([]SweepPoint, error) {
+	return core.GranularitySweep(d, archs, seed)
+}
+
+// DefaultSweepArchs returns the standard granularity family.
+func DefaultSweepArchs() []*PLBArch { return core.DefaultSweepArchs() }
+
+// Logic analysis (Section 2.1).
+
+// TT is a truth table of up to six inputs.
+type TT = logic.TT
+
+// S3Feasible reports whether the S3 gate (a 2:1 MUX driven by two
+// ND2WI gates) implements the 3-input function f.
+func S3Feasible(f TT) bool { return logic.S3Feasible(f) }
+
+// S3FeasibleCount counts S3-implementable 3-input functions (the
+// paper's "at least 196").
+func S3FeasibleCount() int { return logic.S3FeasibleCount() }
+
+// ModifiedS3Complete reports whether the Figure 3 modified S3 cell
+// implements all 256 3-input functions.
+func ModifiedS3Complete() bool { return logic.ModifiedS3Complete() }
+
+// FIR returns a T-tap, W-bit FIR filter benchmark — a DSP-domain
+// design for application-domain exploration beyond the paper's four.
+func FIR(taps, width int) Design { return bench.FIR(taps, width) }
+
+// ClaimStats aggregates the derived claims over several seeds.
+type ClaimStats = core.ClaimStats
+
+// StabilityStudy runs the Table 1/2 matrix once per seed and reports
+// mean/min/max of every headline claim.
+func StabilityStudy(s Suite, seeds []int64, effort int) (*ClaimStats, error) {
+	return core.StabilityStudy(s, seeds, effort, nil)
+}
+
+// DomainResult reports per-domain architecture comparisons.
+type DomainResult = core.DomainResult
+
+// DomainExplore finds the best PLB architecture per application
+// domain (the paper's Sec. 4 future work).
+func DomainExplore(domains []Design, archs []*PLBArch, seed int64) ([]DomainResult, error) {
+	return core.DomainExplore(domains, archs, seed)
+}
+
+// RoutingPoint is one sample of the routing-architecture sweep.
+type RoutingPoint = core.RoutingPoint
+
+// RoutingSweep routes a packed design under several per-channel track
+// capacities (the paper's routing-architecture future work).
+func RoutingSweep(d Design, arch *PLBArch, capacities []int, seed int64) ([]RoutingPoint, error) {
+	return core.RoutingSweep(d, arch, capacities, seed)
+}
+
+// Artifacts carries the physical results (netlist, placement, packing,
+// routing) of a flow run for tools needing more than the report.
+type Artifacts = core.Artifacts
+
+// RunFull is Run returning the physical artifacts as well.
+func RunFull(d Design, cfg Config) (*Report, *Artifacts, error) { return core.RunFlowFull(d, cfg) }
+
+// WriteFloorplan renders a flow-b result as a textual floorplan: array
+// occupancy, per-PLB configuration inventory with via programs, and
+// routing totals (the GDSII stand-in).
+func WriteFloorplan(w io.Writer, rep *Report, art *Artifacts) error {
+	return core.WriteFloorplan(w, rep, art)
+}
