@@ -7,6 +7,7 @@
 package vpga
 
 import (
+	"runtime"
 	"testing"
 
 	"vpga/internal/aig"
@@ -49,18 +50,34 @@ func BenchmarkFig3ModifiedS3Completeness(b *testing.B) {
 }
 
 // matrixOnce runs the Table 1/2 experiment once per benchmark
-// iteration on the miniature suite.
+// iteration on the miniature suite, sequentially (Parallel: 1) so the
+// trajectory of the experiment benchmarks stays comparable across
+// machines; BenchmarkMatrixParallel tracks the parallel speedup.
 func matrixOnce(b *testing.B) *core.Matrix {
 	b.Helper()
 	var m *core.Matrix
 	for i := 0; i < b.N; i++ {
 		var err error
-		m, err = core.RunMatrix(bench.TestSuite(), core.MatrixOptions{Seed: 1, PlaceEffort: 3})
+		m, err = core.RunMatrix(bench.TestSuite(), core.MatrixOptions{Seed: 1, PlaceEffort: 3, Parallel: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	return m
+}
+
+// BenchmarkMatrixParallel runs the same matrix as the Table benchmarks
+// on the bounded worker pool at full width. Reports are bit-identical
+// to the sequential run; the ratio of this benchmark to
+// BenchmarkTable1DieArea's ns/op is the parallel speedup.
+func BenchmarkMatrixParallel(b *testing.B) {
+	par := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunMatrix(bench.TestSuite(), core.MatrixOptions{Seed: 1, PlaceEffort: 3, Parallel: par}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(par), "workers")
 }
 
 // BenchmarkTable1DieArea regenerates Table 1 (die area, 4 designs × 2
@@ -231,6 +248,20 @@ func BenchmarkPlacementAnneal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		prob.Anneal(place.Options{Seed: int64(i), MovesPerObj: 4})
 	}
+}
+
+// BenchmarkAnnealMoves measures the annealer's move throughput — the
+// figure of merit of the incremental bounding-box cost kernel. The
+// moves/s metric is the one to watch in the bench trajectory.
+func BenchmarkAnnealMoves(b *testing.B) {
+	prob, _, _ := placedProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prob.Anneal(place.Options{Seed: int64(i), MovesPerObj: 8})
+	}
+	st := prob.Stats()
+	b.ReportMetric(float64(st.Proposed)/b.Elapsed().Seconds(), "moves/s")
+	b.ReportMetric(100*float64(st.Accepted)/float64(st.Proposed), "%accepted")
 }
 
 func BenchmarkGlobalRouting(b *testing.B) {

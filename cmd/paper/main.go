@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"vpga/internal/bench"
@@ -37,7 +39,35 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	seeds := flag.Int("seeds", 0, "run the claims over N seeds and report mean/min/max (stability study)")
 	effort := flag.Int("effort", 0, "placement effort (0 = default)")
+	parallel := flag.Int("parallel", 0, "max concurrent flow runs (0 = all cores, 1 = sequential; results are identical either way)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *all {
 		*fig2, *claims, *compaction, *sweep, *domains, *routing = true, true, true, true, true, true
@@ -62,7 +92,7 @@ func main() {
 		for i := 0; i < *seeds; i++ {
 			list = append(list, *seed+int64(i))
 		}
-		st, err := core.StabilityStudy(suite, list, *effort,
+		st, err := core.StabilityStudy(suite, list, *effort, *parallel,
 			func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
 		if err != nil {
 			fatalf("%v", err)
@@ -76,7 +106,7 @@ func main() {
 		start := time.Now()
 		var err error
 		matrix, err = core.RunMatrix(suite, core.MatrixOptions{
-			Seed: *seed, PlaceEffort: *effort,
+			Seed: *seed, PlaceEffort: *effort, Parallel: *parallel,
 			Progress: func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
 		})
 		if err != nil {

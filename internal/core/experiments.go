@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"vpga/internal/bench"
 	"vpga/internal/cells"
@@ -22,43 +24,122 @@ type MatrixOptions struct {
 	Seed        int64
 	PlaceEffort int
 	Verify      bool
+	// Parallel bounds the number of concurrently executing flow runs:
+	// 0 uses GOMAXPROCS, 1 forces fully sequential execution. For a
+	// fixed seed the resulting reports are identical at any setting —
+	// every run's inputs (design, arch, flow, pinned clock, seed) are
+	// independent of scheduling.
+	Parallel int
 	// Progress, when non-nil, receives one line per completed run.
+	// Calls are serialized, but their order depends on scheduling when
+	// Parallel > 1.
 	Progress func(string)
 }
 
-// RunMatrix executes every (design, arch, flow) combination. The clock
-// period of each design is fixed across its four runs — 1.2× the
-// pre-layout arrival of the first run — so slack comparisons are
-// apples to apples, mirroring the paper's single cycle time per table.
+// RunMatrix executes every (design, arch, flow) combination on a
+// bounded worker pool. The clock period of each design is fixed across
+// its four runs — 1.2× the post-layout arrival of the first run — so
+// slack comparisons are apples to apples, mirroring the paper's single
+// cycle time per table. Designs run concurrently; within a design the
+// three clock-dependent runs fan out as soon as the clock-pinning run
+// finishes.
 func RunMatrix(suite bench.Suite, opts MatrixOptions) (*Matrix, error) {
+	par := opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	m := &Matrix{Designs: suite.All(), Reports: map[string]map[string]map[string]*Report{}}
 	archs := []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()}
+
+	// Report maps are pre-built sequentially so workers only write leaf
+	// entries (under mu).
 	for _, d := range m.Designs {
 		m.Reports[d.Name] = map[string]map[string]*Report{}
-		clock := 0.0
 		for _, arch := range archs {
 			m.Reports[d.Name][arch.Name] = map[string]*Report{}
-			for _, flow := range []FlowKind{FlowA, FlowB} {
-				rep, err := RunFlow(d, Config{
-					Arch: arch, Flow: flow, ClockPeriod: clock,
-					Seed: opts.Seed, PlaceEffort: opts.PlaceEffort, Verify: opts.Verify,
-				})
-				if err != nil {
-					return nil, err
-				}
-				if clock == 0 {
-					// The first run pins the design's clock period for
-					// all four runs: 1.2× its post-layout arrival, so
-					// slacks hover near zero like the paper's Table 2.
-					clock = 1.2 * rep.MaxArrival
-					rep.Reclock(clock)
-				}
-				m.Reports[d.Name][arch.Name][flow.String()] = rep
-				if opts.Progress != nil {
-					opts.Progress(rep.summary())
+		}
+	}
+
+	var (
+		sem      = make(chan struct{}, par)
+		mu       sync.Mutex // guards Reports, firstErr, Progress
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// runOne executes one flow run on a pool slot; it returns nil
+	// without running when an error has already been recorded.
+	runOne := func(d bench.Design, arch *cells.PLBArch, flow FlowKind, clock float64) *Report {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		mu.Lock()
+		bail := firstErr != nil
+		mu.Unlock()
+		if bail {
+			return nil
+		}
+		rep, err := RunFlow(d, Config{
+			Arch: arch, Flow: flow, ClockPeriod: clock,
+			Seed: opts.Seed, PlaceEffort: opts.PlaceEffort, Verify: opts.Verify,
+		})
+		if err != nil {
+			fail(err)
+			return nil
+		}
+		return rep
+	}
+	store := func(d bench.Design, arch *cells.PLBArch, flow FlowKind, rep *Report) {
+		mu.Lock()
+		m.Reports[d.Name][arch.Name][flow.String()] = rep
+		if opts.Progress != nil {
+			opts.Progress(rep.summary())
+		}
+		mu.Unlock()
+	}
+
+	for _, d := range m.Designs {
+		wg.Add(1)
+		go func(d bench.Design) {
+			defer wg.Done()
+			// The first run pins the design's clock period for all four
+			// runs: 1.2× its post-layout arrival, so slacks hover near
+			// zero like the paper's Table 2.
+			first := runOne(d, archs[0], FlowA, 0)
+			if first == nil {
+				return
+			}
+			clock := 1.2 * first.MaxArrival
+			first.Reclock(clock)
+			store(d, archs[0], FlowA, first)
+
+			// Fan out the three clock-dependent runs.
+			var iwg sync.WaitGroup
+			for _, arch := range archs {
+				for _, flow := range []FlowKind{FlowA, FlowB} {
+					if arch == archs[0] && flow == FlowA {
+						continue
+					}
+					iwg.Add(1)
+					go func(arch *cells.PLBArch, flow FlowKind) {
+						defer iwg.Done()
+						if rep := runOne(d, arch, flow, clock); rep != nil {
+							store(d, arch, flow, rep)
+						}
+					}(arch, flow)
 				}
 			}
-		}
+			iwg.Wait()
+		}(d)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return m, nil
 }
@@ -256,23 +337,59 @@ type SweepPoint struct {
 }
 
 // GranularitySweep runs one design across a family of PLB
-// architectures of increasing granularity (experiment E8).
+// architectures of increasing granularity (experiment E8). The first
+// architecture pins the clock period; the remaining points then run
+// concurrently (bounded by GOMAXPROCS) with deterministic results.
 func GranularitySweep(d bench.Design, archs []*cells.PLBArch, seed int64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	clock := 0.0
-	for _, arch := range archs {
+	if len(archs) == 0 {
+		return nil, nil
+	}
+	point := func(arch *cells.PLBArch, clock float64) (SweepPoint, float64, error) {
 		rep, err := RunFlow(d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("sweep %s: %w", arch.Name, err)
+			return SweepPoint{}, 0, fmt.Errorf("sweep %s: %w", arch.Name, err)
 		}
-		if clock == 0 {
-			clock = rep.ClockPeriod
-		}
-		out = append(out, SweepPoint{
+		return SweepPoint{
 			Arch: arch.Name, Slots: arch.SlotSummary(), PLBArea: arch.Area,
 			DieArea: rep.DieArea, AvgTopSlack: rep.AvgTopSlack,
 			UsedPLBs: rep.Rows * rep.Cols,
-		})
+		}, rep.ClockPeriod, nil
+	}
+
+	out := make([]SweepPoint, len(archs))
+	first, clock, err := point(archs[0], 0)
+	if err != nil {
+		return nil, err
+	}
+	out[0] = first
+
+	var (
+		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for i := 1; i < len(archs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pt, _, err := point(archs[i], clock)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			out[i] = pt
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

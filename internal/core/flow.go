@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"vpga/internal/aig"
@@ -264,18 +265,34 @@ func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 }
 
 // compileRTL caches elaborated benchmark netlists: paper-scale designs
-// are elaborated once per process.
-var rtlCache = map[string]*netlist.Netlist{}
+// are elaborated once per process. The cache is shared by concurrent
+// matrix workers, so all access goes through rtlCacheMu; the cached
+// netlist itself is only ever read (Clone copies it), never mutated.
+var (
+	rtlCacheMu sync.Mutex
+	rtlCache   = map[string]*netlist.Netlist{}
+)
 
 func compileRTL(d bench.Design) (*netlist.Netlist, error) {
-	if nl, ok := rtlCache[d.RTL]; ok {
+	rtlCacheMu.Lock()
+	nl, ok := rtlCache[d.RTL]
+	rtlCacheMu.Unlock()
+	if ok {
 		return nl.Clone(), nil
 	}
 	nl, err := rtl.Compile(d.RTL)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: rtl: %w", d.Name, err)
 	}
-	rtlCache[d.RTL] = nl
+	rtlCacheMu.Lock()
+	// A concurrent worker may have compiled the same source first; keep
+	// the existing entry so every caller clones one canonical netlist.
+	if prev, ok := rtlCache[d.RTL]; ok {
+		nl = prev
+	} else {
+		rtlCache[d.RTL] = nl
+	}
+	rtlCacheMu.Unlock()
 	return nl.Clone(), nil
 }
 

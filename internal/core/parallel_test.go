@@ -1,0 +1,81 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vpga/internal/bench"
+)
+
+// stripRuntime clears the only wall-clock-dependent report field so
+// reports can be compared across scheduling orders.
+func stripRuntime(m *Matrix) {
+	for _, byArch := range m.Reports {
+		for _, byFlow := range byArch {
+			for _, rep := range byFlow {
+				rep.Runtime = 0
+			}
+		}
+	}
+}
+
+// TestRunMatrixParallelDeterminism: for a fixed seed, the matrix must
+// produce identical reports at parallelism 1 and parallelism 4, and
+// Progress must fire exactly once per run in both modes.
+func TestRunMatrixParallelDeterminism(t *testing.T) {
+	suite := bench.Suite{
+		ALU:      bench.ALU(8),
+		Firewire: bench.Firewire(4),
+		FPU:      bench.FPU(4),
+		Switch:   bench.Switch(2, 4, 2),
+	}
+	run := func(parallel int) (*Matrix, int) {
+		var mu sync.Mutex
+		lines := 0
+		m, err := RunMatrix(suite, MatrixOptions{
+			Seed: 7, PlaceEffort: 2, Parallel: parallel,
+			Progress: func(string) { mu.Lock(); lines++; mu.Unlock() },
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		stripRuntime(m)
+		return m, lines
+	}
+	seq, seqLines := run(1)
+	par, parLines := run(4)
+
+	wantRuns := len(suite.All()) * 2 * 2
+	if seqLines != wantRuns || parLines != wantRuns {
+		t.Fatalf("progress lines: sequential %d, parallel %d, want %d", seqLines, parLines, wantRuns)
+	}
+	for design, byArch := range seq.Reports {
+		for arch, byFlow := range byArch {
+			for flow, want := range byFlow {
+				got := par.Reports[design][arch][flow]
+				if got == nil {
+					t.Fatalf("%s/%s/%s missing from parallel run", design, arch, flow)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s/%s diverged:\n  sequential %+v\n  parallel   %+v",
+						design, arch, flow, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunMatrixParallelError: a failing run must surface its error and
+// not deadlock the pool.
+func TestRunMatrixParallelError(t *testing.T) {
+	suite := bench.Suite{
+		ALU:      bench.ALU(4),
+		Firewire: bench.Design{Name: "broken", RTL: "module m(invalid"},
+		FPU:      bench.FPU(4),
+		Switch:   bench.Switch(2, 4, 2),
+	}
+	if _, err := RunMatrix(suite, MatrixOptions{Seed: 1, PlaceEffort: 1, Parallel: 4}); err == nil {
+		t.Fatal("expected an error from the broken design")
+	}
+}

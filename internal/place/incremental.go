@@ -1,0 +1,271 @@
+package place
+
+// Incremental placement cost kernel: every net carries a cached
+// bounding box with per-boundary occupancy counts (the VPR scheme), so
+// a move proposal costs O(incident nets) instead of O(incident pins).
+// A rescan — restricted to the single broken boundary — happens only
+// when the sole object holding that boundary moves inward, exactly the
+// case where the new boundary is unknowable without a scan.
+//
+// The cached boxes store the same float64 coordinates a scratch scan
+// would select (boundaries are selections, never arithmetic), so the
+// cached cost matches Problem.HPWL() bit for bit; the place tests
+// cross-check this invariant after every annealing pass.
+
+// netBox is one net's cached bounding box. The *N fields count how
+// many of the net's objects sit exactly on each boundary.
+type netBox struct {
+	xMin, xMax, yMin, yMax     float64
+	xMinN, xMaxN, yMinN, yMaxN int32
+}
+
+// hpwl is the box's half-perimeter wirelength.
+func (b *netBox) hpwl() float64 {
+	return (b.xMax - b.xMin) + (b.yMax - b.yMin)
+}
+
+// addPoint folds one object position into the box.
+func (b *netBox) addPoint(x, y float64) {
+	if x < b.xMin {
+		b.xMin, b.xMinN = x, 1
+	} else if x == b.xMin {
+		b.xMinN++
+	}
+	if x > b.xMax {
+		b.xMax, b.xMaxN = x, 1
+	} else if x == b.xMax {
+		b.xMaxN++
+	}
+	if y < b.yMin {
+		b.yMin, b.yMinN = y, 1
+	} else if y == b.yMin {
+		b.yMinN++
+	}
+	if y > b.yMax {
+		b.yMax, b.yMaxN = y, 1
+	} else if y == b.yMax {
+		b.yMaxN++
+	}
+}
+
+// updMax adjusts one upper boundary for a coordinate moving old→new.
+// It reports false when the sole boundary holder moved inward, which
+// requires a rescan.
+func updMax(max *float64, n *int32, old, new float64) bool {
+	switch {
+	case new > *max:
+		*max, *n = new, 1
+	case new == *max:
+		if old != *max {
+			*n++
+		}
+	default: // new < *max
+		if old == *max {
+			if *n == 1 {
+				return false
+			}
+			*n--
+		}
+	}
+	return true
+}
+
+// updMin is the lower-boundary mirror of updMax.
+func updMin(min *float64, n *int32, old, new float64) bool {
+	switch {
+	case new < *min:
+		*min, *n = new, 1
+	case new == *min:
+		if old != *min {
+			*n++
+		}
+	default: // new > *min
+		if old == *min {
+			if *n == 1 {
+				return false
+			}
+			*n--
+		}
+	}
+	return true
+}
+
+// computeBox scans net ni from scratch.
+func (p *Problem) computeBox(ni int32) netBox {
+	n := &p.Nets[ni]
+	first := &p.Objs[n.Objs[0]]
+	b := netBox{
+		xMin: first.X, xMax: first.X, yMin: first.Y, yMax: first.Y,
+		xMinN: 1, xMaxN: 1, yMinN: 1, yMaxN: 1,
+	}
+	for _, oi := range n.Objs[1:] {
+		o := &p.Objs[oi]
+		b.addPoint(o.X, o.Y)
+	}
+	return b
+}
+
+// The scan{X,Y}{Min,Max} quartet recomputes a single boundary of net ni
+// with object oi evaluated at a tentative coordinate. A broken boundary
+// needs one comparison per pin this way, against eight for a full box
+// rebuild, and the other three boundaries stay incremental.
+
+func (p *Problem) scanXMin(ni, oi int32, nx float64) (float64, int32) {
+	min, cnt := nx, int32(1)
+	for _, oj := range p.Nets[ni].Objs {
+		if oj == oi {
+			continue
+		}
+		if v := p.Objs[oj].X; v < min {
+			min, cnt = v, 1
+		} else if v == min {
+			cnt++
+		}
+	}
+	return min, cnt
+}
+
+func (p *Problem) scanXMax(ni, oi int32, nx float64) (float64, int32) {
+	max, cnt := nx, int32(1)
+	for _, oj := range p.Nets[ni].Objs {
+		if oj == oi {
+			continue
+		}
+		if v := p.Objs[oj].X; v > max {
+			max, cnt = v, 1
+		} else if v == max {
+			cnt++
+		}
+	}
+	return max, cnt
+}
+
+func (p *Problem) scanYMin(ni, oi int32, ny float64) (float64, int32) {
+	min, cnt := ny, int32(1)
+	for _, oj := range p.Nets[ni].Objs {
+		if oj == oi {
+			continue
+		}
+		if v := p.Objs[oj].Y; v < min {
+			min, cnt = v, 1
+		} else if v == min {
+			cnt++
+		}
+	}
+	return min, cnt
+}
+
+func (p *Problem) scanYMax(ni, oi int32, ny float64) (float64, int32) {
+	max, cnt := ny, int32(1)
+	for _, oj := range p.Nets[ni].Objs {
+		if oj == oi {
+			continue
+		}
+		if v := p.Objs[oj].Y; v > max {
+			max, cnt = v, 1
+		} else if v == max {
+			cnt++
+		}
+	}
+	return max, cnt
+}
+
+// initBoxes (re)builds every cached box from current positions. Callers
+// that move objects outside tryMove (force-directed passes, the packer)
+// must rebuild before incremental moves resume.
+func (p *Problem) initBoxes() {
+	if cap(p.boxes) < len(p.Nets) {
+		p.boxes = make([]netBox, len(p.Nets))
+	}
+	p.boxes = p.boxes[:len(p.Nets)]
+	for ni := range p.Nets {
+		p.boxes[ni] = p.computeBox(int32(ni))
+	}
+}
+
+// boxHPWL is the total weighted HPWL read from the cached boxes.
+func (p *Problem) boxHPWL() float64 {
+	total := 0.0
+	for i := range p.Nets {
+		total += p.Nets[i].Weight * p.boxes[i].hpwl()
+	}
+	return total
+}
+
+// displacedBox returns net ni's box after object oi moves (ox,oy) →
+// (nx,ny): each boundary is updated incrementally and only a broken one
+// is rescanned. The object's stored position is never read — rescans
+// substitute (nx,ny) for oi — so the caller may leave it at (ox,oy).
+func (p *Problem) displacedBox(ni, oi int32, ox, oy, nx, ny float64) netBox {
+	nb := p.boxes[ni]
+	if !updMin(&nb.xMin, &nb.xMinN, ox, nx) {
+		nb.xMin, nb.xMinN = p.scanXMin(ni, oi, nx)
+	}
+	if !updMax(&nb.xMax, &nb.xMaxN, ox, nx) {
+		nb.xMax, nb.xMaxN = p.scanXMax(ni, oi, nx)
+	}
+	if !updMin(&nb.yMin, &nb.yMinN, oy, ny) {
+		nb.yMin, nb.yMinN = p.scanYMin(ni, oi, ny)
+	}
+	if !updMax(&nb.yMax, &nb.yMaxN, oy, ny) {
+		nb.yMax, nb.yMaxN = p.scanYMax(ni, oi, ny)
+	}
+	return nb
+}
+
+// computeBoxSwapped scans net ni with objects oi and oj evaluated at
+// each other's stored positions (nets shared by both ends of a swap,
+// where the incremental path cannot apply).
+func (p *Problem) computeBoxSwapped(ni, oi, oj int32) netBox {
+	xi, yi := p.Objs[oj].X, p.Objs[oj].Y
+	xj, yj := p.Objs[oi].X, p.Objs[oi].Y
+	var b netBox
+	for k, oo := range p.Nets[ni].Objs {
+		var x, y float64
+		switch oo {
+		case oi:
+			x, y = xi, yi
+		case oj:
+			x, y = xj, yj
+		default:
+			x, y = p.Objs[oo].X, p.Objs[oo].Y
+		}
+		if k == 0 {
+			b = netBox{xMin: x, xMax: x, yMin: y, yMax: y,
+				xMinN: 1, xMaxN: 1, yMinN: 1, yMaxN: 1}
+			continue
+		}
+		b.addPoint(x, y)
+	}
+	return b
+}
+
+// displaceDelta returns the weighted-HPWL change of moving object oi to
+// (nx, ny) without touching any state; the tentative boxes of the
+// object's nets are left in p.tentBoxes for commitDisplace.
+func (p *Problem) displaceDelta(oi int32, nx, ny float64) float64 {
+	o := &p.Objs[oi]
+	ox, oy := o.X, o.Y
+	if cap(p.tentBoxes) < len(o.nets) {
+		p.tentBoxes = make([]netBox, len(o.nets))
+	}
+	p.tentBoxes = p.tentBoxes[:len(o.nets)]
+	delta := 0.0
+	for k, ni := range o.nets {
+		nb := p.displacedBox(ni, oi, ox, oy, nx, ny)
+		p.tentBoxes[k] = nb
+		delta += p.Nets[ni].Weight * (nb.hpwl() - p.boxes[ni].hpwl())
+	}
+	return delta
+}
+
+// commitDisplace applies the move computed by the immediately preceding
+// displaceDelta call.
+func (p *Problem) commitDisplace(oi int32, nx, ny float64) {
+	o := &p.Objs[oi]
+	o.X, o.Y = nx, ny
+	for k, ni := range o.nets {
+		p.boxes[ni] = p.tentBoxes[k]
+	}
+}
+

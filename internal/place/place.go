@@ -40,7 +40,26 @@ type Problem struct {
 
 	objOf map[netlist.NodeID]int32 // netlist node -> object index
 	rng   *rand.Rand
+
+	// Incremental cost kernel state (see incremental.go) plus scratch
+	// buffers hoisted out of the annealing hot loop.
+	boxes        []netBox
+	tentBoxes    []netBox
+	tentNets     []int32
+	netMark      []int64
+	markEpoch    int64
+	movableCache []int32
+	stats        Stats
 }
+
+// Stats counts annealer work (proposals and acceptances across every
+// Anneal/Refine call on this problem) for benchmarks and profiling.
+type Stats struct {
+	Proposed, Accepted int64
+}
+
+// Stats returns the problem's cumulative annealing counters.
+func (p *Problem) Stats() Stats { return p.stats }
 
 // AreaFunc returns the placement area of a netlist node (gate or DFF).
 type AreaFunc func(n *netlist.Node) float64
@@ -297,6 +316,7 @@ func (p *Problem) Anneal(opts Options) {
 	// force-directed solution is already global, so the anneal refines
 	// rather than re-melts.
 	p.ForceDirected(30)
+	p.initBoxes()
 	rng := rand.New(rand.NewSource(opts.Seed + 7))
 	temp := p.estimateInitialTemp(rng, movable) * 0.05
 	window := math.Max(p.W, p.H) * 0.15
@@ -327,77 +347,110 @@ func (p *Problem) Anneal(opts Options) {
 	p.Refine(0.05, 2, opts.Seed+13)
 }
 
+// movable returns the non-fixed object indexes. Fixed flags are set
+// once in Build and never change, so the slice is computed once and
+// reused across every Anneal/Refine call.
 func (p *Problem) movable() []int32 {
-	var out []int32
-	for i := range p.Objs {
-		if !p.Objs[i].Fixed {
-			out = append(out, int32(i))
+	if p.movableCache == nil {
+		out := make([]int32, 0, len(p.Objs))
+		for i := range p.Objs {
+			if !p.Objs[i].Fixed {
+				out = append(out, int32(i))
+			}
 		}
+		p.movableCache = out
 	}
-	return out
+	return p.movableCache
 }
 
+// estimateInitialTemp samples random long-range displacements and
+// averages their |ΔHPWL|; the running sum replaces the old per-call
+// deltas slice. Requires valid boxes.
 func (p *Problem) estimateInitialTemp(rng *rand.Rand, movable []int32) float64 {
-	var deltas []float64
+	sum := 0.0
+	n := 0
 	for i := 0; i < 50 && i < len(movable); i++ {
 		oi := movable[rng.Intn(len(movable))]
-		before := p.objCost(oi)
-		ox, oy := p.Objs[oi].X, p.Objs[oi].Y
-		p.Objs[oi].X = rng.Float64() * p.W
-		p.Objs[oi].Y = rng.Float64() * p.H
-		after := p.objCost(oi)
-		p.Objs[oi].X, p.Objs[oi].Y = ox, oy
-		deltas = append(deltas, math.Abs(after-before))
+		nx := rng.Float64() * p.W
+		ny := rng.Float64() * p.H
+		sum += math.Abs(p.displaceDelta(oi, nx, ny))
+		n++
 	}
-	sum := 0.0
-	for _, d := range deltas {
-		sum += d
-	}
-	if len(deltas) == 0 || sum == 0 {
+	if n == 0 || sum == 0 {
 		return 1
 	}
-	return 20 * sum / float64(len(deltas))
-}
-
-// objCost is the weighted HPWL of the nets incident to object oi.
-func (p *Problem) objCost(oi int32) float64 {
-	total := 0.0
-	for _, ni := range p.Objs[oi].nets {
-		total += p.Nets[ni].Weight * p.netHPWL(&p.Nets[ni])
-	}
-	return total
+	return 20 * sum / float64(n)
 }
 
 // tryMove proposes a displacement (or swap) and accepts by the
-// Metropolis criterion.
+// Metropolis criterion. Deltas come from the incremental box kernel;
+// valid boxes (initBoxes) are a precondition.
 func (p *Problem) tryMove(rng *rand.Rand, movable []int32, window, temp float64) bool {
+	p.stats.Proposed++
 	oi := movable[rng.Intn(len(movable))]
 	o := &p.Objs[oi]
 	if rng.Intn(8) == 0 {
-		// Swap with another movable object.
+		// Swap with another movable object. Nets touching only one end
+		// take the incremental boundary update; only nets shared by
+		// both ends need a full rescan at the swapped positions.
 		oj := movable[rng.Intn(len(movable))]
 		if oi == oj {
 			return false
 		}
 		q := &p.Objs[oj]
-		before := p.objCost(oi) + p.objCost(oj)
-		o.X, o.Y, q.X, q.Y = q.X, q.Y, o.X, o.Y
-		after := p.objCost(oi) + p.objCost(oj)
-		if p.accept(rng, after-before, temp) {
+		if len(p.netMark) < len(p.Nets) {
+			p.netMark = make([]int64, len(p.Nets))
+		}
+		epoch := p.markEpoch + 1
+		p.markEpoch += 2 // epoch marks oj's nets, epoch+1 marks shared nets already handled
+		for _, ni := range q.nets {
+			p.netMark[ni] = epoch
+		}
+		if need := len(o.nets) + len(q.nets); cap(p.tentBoxes) < need {
+			p.tentBoxes = make([]netBox, need)
+		}
+		p.tentNets = p.tentNets[:0]
+		p.tentBoxes = p.tentBoxes[:0]
+		delta := 0.0
+		for _, ni := range o.nets {
+			var nb netBox
+			if p.netMark[ni] == epoch {
+				nb = p.computeBoxSwapped(ni, oi, oj)
+				p.netMark[ni] = epoch + 1
+			} else {
+				nb = p.displacedBox(ni, oi, o.X, o.Y, q.X, q.Y)
+			}
+			p.tentNets = append(p.tentNets, ni)
+			p.tentBoxes = append(p.tentBoxes, nb)
+			delta += p.Nets[ni].Weight * (nb.hpwl() - p.boxes[ni].hpwl())
+		}
+		for _, ni := range q.nets {
+			if p.netMark[ni] == epoch+1 {
+				continue // shared, handled above
+			}
+			nb := p.displacedBox(ni, oj, q.X, q.Y, o.X, o.Y)
+			p.tentNets = append(p.tentNets, ni)
+			p.tentBoxes = append(p.tentBoxes, nb)
+			delta += p.Nets[ni].Weight * (nb.hpwl() - p.boxes[ni].hpwl())
+		}
+		if p.accept(rng, delta, temp) {
+			o.X, o.Y, q.X, q.Y = q.X, q.Y, o.X, o.Y
+			for k, ni := range p.tentNets {
+				p.boxes[ni] = p.tentBoxes[k]
+			}
+			p.stats.Accepted++
 			return true
 		}
-		o.X, o.Y, q.X, q.Y = q.X, q.Y, o.X, o.Y
 		return false
 	}
-	before := p.objCost(oi)
-	ox, oy := o.X, o.Y
-	o.X = clamp(ox+(rng.Float64()*2-1)*window, 0, p.W)
-	o.Y = clamp(oy+(rng.Float64()*2-1)*window, 0, p.H)
-	after := p.objCost(oi)
-	if p.accept(rng, after-before, temp) {
+	nx := clamp(o.X+(rng.Float64()*2-1)*window, 0, p.W)
+	ny := clamp(o.Y+(rng.Float64()*2-1)*window, 0, p.H)
+	delta := p.displaceDelta(oi, nx, ny)
+	if p.accept(rng, delta, temp) {
+		p.commitDisplace(oi, nx, ny)
+		p.stats.Accepted++
 		return true
 	}
-	o.X, o.Y = ox, oy
 	return false
 }
 
@@ -409,23 +462,26 @@ func (p *Problem) accept(rng *rand.Rand, delta, temp float64) bool {
 }
 
 // Refine runs zero-temperature local improvement with a small window;
-// the packer invokes it after restricting objects to regions.
+// the packer invokes it after restricting objects to regions. Boxes
+// are rebuilt on entry because callers (packer, net reweighting flows)
+// may have moved objects since the last incremental update.
 func (p *Problem) Refine(windowFrac float64, passes int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	movable := p.movable()
 	if len(movable) == 0 {
 		return
 	}
+	p.initBoxes()
 	window := math.Max(p.W, p.H) * windowFrac
 	for pass := 0; pass < passes; pass++ {
 		for _, oi := range movable {
+			p.stats.Proposed++
 			o := &p.Objs[oi]
-			before := p.objCost(oi)
-			ox, oy := o.X, o.Y
-			o.X = clamp(ox+(rng.Float64()*2-1)*window, 0, p.W)
-			o.Y = clamp(oy+(rng.Float64()*2-1)*window, 0, p.H)
-			if p.objCost(oi) > before {
-				o.X, o.Y = ox, oy
+			nx := clamp(o.X+(rng.Float64()*2-1)*window, 0, p.W)
+			ny := clamp(o.Y+(rng.Float64()*2-1)*window, 0, p.H)
+			if p.displaceDelta(oi, nx, ny) <= 0 {
+				p.commitDisplace(oi, nx, ny)
+				p.stats.Accepted++
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package place
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"vpga/internal/aig"
@@ -180,6 +182,74 @@ func TestForceDirectedImprovesHPWL(t *testing.T) {
 	for _, o := range p.Objs {
 		if o.X < 0 || o.X > p.W || o.Y < 0 || o.Y > p.H {
 			t.Fatalf("object %q escaped the die", o.Name)
+		}
+	}
+}
+
+// checkBoxes asserts every cached net box equals a scratch recompute
+// bit for bit, and that the cached total cost equals HPWL().
+func checkBoxes(t *testing.T, p *Problem, when string) {
+	t.Helper()
+	for ni := range p.Nets {
+		if want := p.computeBox(int32(ni)); p.boxes[ni] != want {
+			t.Fatalf("%s: net %d cached box %+v, scratch %+v", when, ni, p.boxes[ni], want)
+		}
+	}
+	if got, want := p.boxHPWL(), p.HPWL(); got != want {
+		t.Fatalf("%s: cached HPWL %v, scratch %v", when, got, want)
+	}
+}
+
+// TestIncrementalBoxesMatchScratch drives the incremental kernel with
+// annealing moves at several temperatures and cross-checks the cached
+// boxes against a full recompute after every pass.
+func TestIncrementalBoxesMatchScratch(t *testing.T) {
+	p, _, _ := buildProblem(t, src, 11)
+	p.initBoxes()
+	checkBoxes(t, p, "after init")
+	rng := rand.New(rand.NewSource(42))
+	movable := p.movable()
+	window := math.Max(p.W, p.H) * 0.2
+	for _, temp := range []float64{100, 10, 1, 0.1, 0} {
+		for i := 0; i < 400; i++ {
+			p.tryMove(rng, movable, window, math.Max(temp, 1e-9))
+		}
+		checkBoxes(t, p, "after pass")
+	}
+	if st := p.Stats(); st.Proposed < 2000 || st.Accepted == 0 {
+		t.Fatalf("implausible stats %+v", p.Stats())
+	}
+}
+
+// TestAnnealKeepsBoxesConsistent runs the full Anneal (force-directed
+// seeding, annealing schedule, refinement) and checks the invariant at
+// the end, then again after an external perturbation plus Refine.
+func TestAnnealKeepsBoxesConsistent(t *testing.T) {
+	p, _, _ := buildProblem(t, src, 12)
+	p.Anneal(Options{Seed: 12, MovesPerObj: 4})
+	checkBoxes(t, p, "after anneal")
+	// External position changes (as the packer makes) must be absorbed
+	// by Refine's box rebuild.
+	rng := rand.New(rand.NewSource(5))
+	for _, oi := range p.movable() {
+		p.Objs[oi].X = rng.Float64() * p.W
+		p.Objs[oi].Y = rng.Float64() * p.H
+	}
+	p.Refine(0.10, 2, 77)
+	checkBoxes(t, p, "after refine")
+}
+
+// TestSeededAnnealDeterministic: the same seed must reproduce the same
+// placement exactly, regardless of prior runs on other problems.
+func TestSeededAnnealDeterministic(t *testing.T) {
+	a, _, _ := buildProblem(t, src, 13)
+	b, _, _ := buildProblem(t, src, 13)
+	a.Anneal(Options{Seed: 9, MovesPerObj: 4})
+	b.Anneal(Options{Seed: 9, MovesPerObj: 4})
+	for i := range a.Objs {
+		if a.Objs[i].X != b.Objs[i].X || a.Objs[i].Y != b.Objs[i].Y {
+			t.Fatalf("object %d diverged: (%v,%v) vs (%v,%v)", i,
+				a.Objs[i].X, a.Objs[i].Y, b.Objs[i].X, b.Objs[i].Y)
 		}
 	}
 }

@@ -197,6 +197,23 @@ func (r *router) run() (*Result, error) {
 
 	presentFactor := 0.5
 	iters := 0
+	// Negotiation can oscillate: a later rip-up round may end worse
+	// than an earlier one. Keep the lowest-overflow iteration and
+	// restore it at the end, so more iterations never hurt. Snapshots
+	// are cheap: usage arrays are copied, per-net edge/tree containers
+	// are rebuilt (not mutated) on reroute, so their headers are safely
+	// shared.
+	bestOver := -1
+	var bestHUse, bestVUse []int16
+	var bestNetEdges [][]edgeRef
+	var bestNetTrees []map[point][]point
+	snapshot := func(over int) {
+		bestOver = over
+		bestHUse = append(bestHUse[:0], r.hUse...)
+		bestVUse = append(bestVUse[:0], r.vUse...)
+		bestNetEdges = append(bestNetEdges[:0], r.netEdges...)
+		bestNetTrees = append(bestNetTrees[:0], r.netTrees...)
+	}
 	for iter := 0; iter < r.opts.MaxIters; iter++ {
 		iters = iter + 1
 		rerouted := 0
@@ -211,6 +228,9 @@ func (r *router) run() (*Result, error) {
 			rerouted++
 		}
 		over := r.totalOverflow()
+		if bestOver < 0 || over < bestOver {
+			snapshot(over)
+		}
 		if over == 0 {
 			break
 		}
@@ -229,6 +249,12 @@ func (r *router) run() (*Result, error) {
 		if rerouted == 0 {
 			break
 		}
+	}
+	if bestOver >= 0 && bestOver < r.totalOverflow() {
+		copy(r.hUse, bestHUse)
+		copy(r.vUse, bestVUse)
+		copy(r.netEdges, bestNetEdges)
+		copy(r.netTrees, bestNetTrees)
 	}
 	return r.finish(iters)
 }
@@ -312,9 +338,20 @@ func (q *pq) Pop() interface{} {
 func (r *router) routeNet(ni int, presentFactor float64) error {
 	net := &r.prob.Nets[ni]
 	src := r.binOf(net.Objs[0])
+	// The tree keeps an insertion-ordered member list beside the
+	// membership map: astar seeds its frontier and picks its window
+	// anchor from the ordered list, so routing is deterministic (map
+	// iteration order would randomize tie-breaks run to run).
 	tree := map[point]bool{src: true}
+	treeList := []point{src}
 	treeAdj := map[point][]point{}
 	var edges []edgeRef
+	grow := func(p point) {
+		if !tree[p] {
+			tree[p] = true
+			treeList = append(treeList, p)
+		}
+	}
 
 	sinks := make([]point, 0, len(net.Objs)-1)
 	for _, oi := range net.Objs[1:] {
@@ -338,9 +375,9 @@ func (r *router) routeNet(ni int, presentFactor float64) error {
 		// Restrict the search to a margin around the sink and its
 		// nearest tree node first; fall back to the whole grid only if
 		// congestion walls off the window.
-		path, err := r.astar(tree, sink, presentFactor, 6)
+		path, err := r.astar(tree, treeList, sink, presentFactor, 6)
 		if err != nil {
-			path, err = r.astar(tree, sink, presentFactor, -1)
+			path, err = r.astar(tree, treeList, sink, presentFactor, -1)
 		}
 		if err != nil {
 			return fmt.Errorf("route: net %d: %w", ni, err)
@@ -356,9 +393,10 @@ func (r *router) routeNet(ni int, presentFactor float64) error {
 			edges = append(edges, ref)
 			treeAdj[a] = append(treeAdj[a], b)
 			treeAdj[b] = append(treeAdj[b], a)
-			tree[a], tree[b] = true, true
+			grow(a)
+			grow(b)
 		}
-		tree[sink] = true
+		grow(sink)
 	}
 	r.netEdges[ni] = edges
 	r.netTrees[ni] = treeAdj
@@ -385,8 +423,10 @@ func (r *router) edgeBetween(a, b point) edgeRef {
 // astar searches from the existing tree (all members seeded at cost 0)
 // to the sink. Scratch state lives in flat arrays indexed by grid cell
 // and is invalidated wholesale by bumping an epoch counter, so routing
-// thousands of nets allocates nothing per call.
-func (r *router) astar(tree map[point]bool, sink point, presentFactor float64, margin int) ([]point, error) {
+// thousands of nets allocates nothing per call. treeList is the tree's
+// membership in insertion order; iterating it (instead of the map)
+// keeps window anchoring and frontier seeding deterministic.
+func (r *router) astar(tree map[point]bool, treeList []point, sink point, presentFactor float64, margin int) ([]point, error) {
 	r.epoch++
 	cell := func(p point) int32 { return int32(p.y)*int32(r.nx) + int32(p.x) }
 	uncell := func(c int32) point { return point{int16(c % int32(r.nx)), int16(c / int32(r.nx))} }
@@ -395,7 +435,7 @@ func (r *router) astar(tree map[point]bool, sink point, presentFactor float64, m
 	r.winX0, r.winY0, r.winX1, r.winY1 = 0, 0, r.nx-1, r.ny-1
 	if margin >= 0 {
 		best, bestD := sink, math.Inf(1)
-		for t := range tree {
+		for _, t := range treeList {
 			if d := manhattan(t, sink); d < bestD {
 				best, bestD = t, d
 			}
@@ -406,7 +446,7 @@ func (r *router) astar(tree map[point]bool, sink point, presentFactor float64, m
 		r.winY1 = clampInt(maxI(int(best.y), int(sink.y))+margin, 0, r.ny-1)
 	}
 	frontier := r.scratch[:0]
-	for t := range tree {
+	for _, t := range treeList {
 		if int(t.x) < r.winX0 || int(t.x) > r.winX1 || int(t.y) < r.winY0 || int(t.y) > r.winY1 {
 			continue
 		}

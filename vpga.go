@@ -172,9 +172,10 @@ func FIR(taps, width int) Design { return bench.FIR(taps, width) }
 type ClaimStats = core.ClaimStats
 
 // StabilityStudy runs the Table 1/2 matrix once per seed and reports
-// mean/min/max of every headline claim.
+// mean/min/max of every headline claim. Each matrix parallelizes
+// across all cores; results are seed-deterministic.
 func StabilityStudy(s Suite, seeds []int64, effort int) (*ClaimStats, error) {
-	return core.StabilityStudy(s, seeds, effort, nil)
+	return core.StabilityStudy(s, seeds, effort, 0, nil)
 }
 
 // DomainResult reports per-domain architecture comparisons.
