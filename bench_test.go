@@ -7,6 +7,7 @@
 package vpga
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -58,7 +59,7 @@ func matrixOnce(b *testing.B) *core.Matrix {
 	var m *core.Matrix
 	for i := 0; i < b.N; i++ {
 		var err error
-		m, err = core.RunMatrix(bench.TestSuite(), core.MatrixOptions{Seed: 1, PlaceEffort: 3, Parallel: 1})
+		m, err = core.RunMatrix(context.Background(), bench.TestSuite(), core.MatrixOptions{Seed: 1, PlaceEffort: 3, Parallel: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func matrixOnce(b *testing.B) *core.Matrix {
 func BenchmarkMatrixParallel(b *testing.B) {
 	par := runtime.GOMAXPROCS(0)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunMatrix(bench.TestSuite(), core.MatrixOptions{Seed: 1, PlaceEffort: 3, Parallel: par}); err != nil {
+		if _, err := core.RunMatrix(context.Background(), bench.TestSuite(), core.MatrixOptions{Seed: 1, PlaceEffort: 3, Parallel: par}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -113,7 +114,7 @@ func BenchmarkCompactionAreaReduction(b *testing.B) {
 		total, n = 0, 0
 		for _, d := range suite.All() {
 			for _, arch := range []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()} {
-				rep, err := core.RunFlow(d, core.Config{Arch: arch, Flow: core.FlowA, Seed: 1, PlaceEffort: 2})
+				rep, err := core.RunFlow(context.Background(), d, core.Config{Arch: arch, Flow: core.FlowA, Seed: 1, PlaceEffort: 2})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -131,7 +132,7 @@ func BenchmarkFullAdderPacking(b *testing.B) {
 	d := bench.ALU(8)
 	fas := 0
 	for i := 0; i < b.N; i++ {
-		rep, err := core.RunFlow(d, core.Config{Arch: cells.GranularPLB(), Flow: core.FlowB, Seed: 2, PlaceEffort: 2})
+		rep, err := core.RunFlow(context.Background(), d, core.Config{Arch: cells.GranularPLB(), Flow: core.FlowB, Seed: 2, PlaceEffort: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +147,7 @@ func BenchmarkGranularitySweep(b *testing.B) {
 	var pts []core.SweepPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = core.GranularitySweep(d, core.DefaultSweepArchs(), 3)
+		pts, err = core.GranularitySweep(context.Background(), d, core.DefaultSweepArchs(), 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -323,7 +324,7 @@ func BenchmarkRoutingArchitectureSweep(b *testing.B) {
 	var pts []core.RoutingPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = core.RoutingSweep(bench.ALU(8), cells.GranularPLB(), []int{4, 8, 16, 32}, 3)
+		pts, err = core.RoutingSweep(context.Background(), bench.ALU(8), cells.GranularPLB(), []int{4, 8, 16, 32}, 3)
 		if err != nil {
 			b.Fatal(err)
 		}

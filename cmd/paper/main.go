@@ -9,14 +9,24 @@
 //	-sweep      the granularity sweep (E8)
 //	-all        everything above
 //
+// Defect-aware fabric (robustness experiments):
+//
+//	-defect-rate R   run the yield sweep: R defects per fabric tile
+//	-defect-maps N   number of defect maps in the sweep (default 50)
+//	-defect-seed S   first defect-map seed
+//	-keep-going      continue the matrix past failing cells (error ledger)
+//	-timeout D       overall wall-clock budget (e.g. 30s); SIGINT also cancels
+//
 // Scale: -scale test (fast miniatures) or -scale paper (gate counts
 // approximating the published designs; minutes of runtime).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -40,9 +50,23 @@ func main() {
 	seeds := flag.Int("seeds", 0, "run the claims over N seeds and report mean/min/max (stability study)")
 	effort := flag.Int("effort", 0, "placement effort (0 = default)")
 	parallel := flag.Int("parallel", 0, "max concurrent flow runs (0 = all cores, 1 = sequential; results are identical either way)")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); expiry cancels in-flight runs")
+	defectRate := flag.Float64("defect-rate", 0, "defect rate per fabric tile; > 0 runs the yield sweep")
+	defectSeed := flag.Int64("defect-seed", 100, "first defect-map seed of the yield sweep")
+	defectMaps := flag.Int("defect-maps", 50, "number of defect maps in the yield sweep")
+	keepGoing := flag.Bool("keep-going", false, "continue the matrix past failing cells; failures land in the error ledger")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// The process-wide context: cancelled by -timeout expiry or SIGINT,
+	// draining every worker pool at the next iteration boundary.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -73,7 +97,8 @@ func main() {
 		*fig2, *claims, *compaction, *sweep, *domains, *routing = true, true, true, true, true, true
 		*table = 3 // both
 	}
-	if !*fig2 && !*claims && !*compaction && !*sweep && !*domains && !*routing && *seeds == 0 && *table == 0 {
+	if !*fig2 && !*claims && !*compaction && !*sweep && !*domains && !*routing &&
+		*seeds == 0 && *table == 0 && *defectRate == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -92,7 +117,7 @@ func main() {
 		for i := 0; i < *seeds; i++ {
 			list = append(list, *seed+int64(i))
 		}
-		st, err := core.StabilityStudy(suite, list, *effort, *parallel,
+		st, err := core.StabilityStudy(ctx, suite, list, *effort, *parallel,
 			func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
 		if err != nil {
 			fatalf("%v", err)
@@ -105,30 +130,46 @@ func main() {
 	if needMatrix {
 		start := time.Now()
 		var err error
-		matrix, err = core.RunMatrix(suite, core.MatrixOptions{
+		matrix, err = core.RunMatrix(ctx, suite, core.MatrixOptions{
 			Seed: *seed, PlaceEffort: *effort, Parallel: *parallel,
-			Progress: func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
+			ContinueOnError: *keepGoing,
+			Progress:        func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
 		})
 		if err != nil {
+			printLedger(matrix)
 			fatalf("%v", err)
 		}
+		printLedger(matrix)
 		fmt.Fprintf(os.Stderr, "matrix completed in %s\n\n", time.Since(start).Round(time.Second))
 	}
+	complete := matrix == nil || len(matrix.Errors) == 0
 	if *table == 1 || *table == 3 {
-		fmt.Println(matrix.Table1())
+		if complete {
+			fmt.Println(matrix.Table1())
+		} else {
+			fmt.Fprintln(os.Stderr, "paper: table 1 skipped: matrix incomplete (see error ledger)")
+		}
 	}
 	if *table == 2 || *table == 3 {
-		fmt.Println(matrix.Table2())
+		if complete {
+			fmt.Println(matrix.Table2())
+		} else {
+			fmt.Fprintln(os.Stderr, "paper: table 2 skipped: matrix incomplete (see error ledger)")
+		}
 	}
 	if *claims {
-		fmt.Println(matrix.DeriveClaims())
+		if complete {
+			fmt.Println(matrix.DeriveClaims())
+		} else {
+			fmt.Fprintln(os.Stderr, "paper: claims skipped: matrix incomplete (see error ledger)")
+		}
 	}
 
 	if *compaction {
 		fmt.Println("Compaction ablation (E4): gate-area reduction by design and architecture")
 		for _, d := range suite.All() {
 			for _, arch := range []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()} {
-				rep, err := core.RunFlow(d, core.Config{Arch: arch, Flow: core.FlowA, Seed: *seed, PlaceEffort: *effort})
+				rep, err := core.RunFlow(ctx, d, core.Config{Arch: arch, Flow: core.FlowA, Seed: *seed, PlaceEffort: *effort})
 				if err != nil {
 					fatalf("%v", err)
 				}
@@ -145,7 +186,7 @@ func main() {
 		if *scale == "paper" {
 			fir = bench.FIR(32, 16)
 		}
-		results, err := core.DomainExplore(
+		results, err := core.DomainExplore(ctx,
 			[]bench.Design{suite.ALU, suite.Firewire, fir},
 			core.DefaultSweepArchs(), *seed)
 		if err != nil {
@@ -155,7 +196,7 @@ func main() {
 	}
 
 	if *routing {
-		pts, err := core.RoutingSweep(suite.ALU, cells.GranularPLB(), []int{4, 8, 16, 32, 64}, *seed)
+		pts, err := core.RoutingSweep(ctx, suite.ALU, cells.GranularPLB(), []int{4, 8, 16, 32, 64}, *seed)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -164,7 +205,7 @@ func main() {
 
 	if *sweep {
 		fmt.Println("Granularity sweep (E8): ALU across PLB architectures")
-		pts, err := core.GranularitySweep(suite.ALU, core.DefaultSweepArchs(), *seed)
+		pts, err := core.GranularitySweep(ctx, suite.ALU, core.DefaultSweepArchs(), *seed)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -172,6 +213,31 @@ func main() {
 		for _, p := range pts {
 			fmt.Printf("  %-14s %-36s %8.1f %10.0f %10.1f\n", p.Arch, p.Slots, p.PLBArea, p.DieArea, p.AvgTopSlack)
 		}
+	}
+
+	if *defectRate > 0 {
+		fmt.Printf("Defect-yield sweep: ALU on granular-plb, %d maps at rate %.4f\n",
+			*defectMaps, *defectRate)
+		res, err := core.DefectYield(ctx, suite.ALU, cells.GranularPLB(), core.YieldOptions{
+			Rate: *defectRate, Maps: *defectMaps, BaseSeed: *defectSeed,
+			FlowSeed: *seed, Parallel: *parallel,
+			Progress: func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
+		})
+		if err != nil {
+			fatalf("yield sweep: %v", err)
+		}
+		fmt.Println(res.Table())
+	}
+}
+
+// printLedger reports failed and skipped matrix cells on stderr.
+func printLedger(m *core.Matrix) {
+	if m == nil || len(m.Errors) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "error ledger (%d failed/skipped cells):\n", len(m.Errors))
+	for _, fe := range m.Errors {
+		fmt.Fprintf(os.Stderr, "  %s\n", fe)
 	}
 }
 

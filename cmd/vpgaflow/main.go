@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/core"
+	"vpga/internal/defect"
 )
 
 func main() {
@@ -32,7 +35,17 @@ func main() {
 	skipCompact := flag.Bool("skip-compaction", false, "disable regularity-driven compaction (ablation)")
 	floorplan := flag.String("floorplan", "", "write the packed-array floorplan (flow b) to this file ('-' for stdout)")
 	netlistOut := flag.String("netlist", "", "write the implementation as structural Verilog to this file")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
+	defectRate := flag.Float64("defect-rate", 0, "inject a defect map at this rate per fabric tile (runs the repair ladder)")
+	defectSeed := flag.Int64("defect-seed", 100, "defect-map seed")
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var arch *cells.PLBArch
 	switch *archName {
@@ -79,10 +92,25 @@ func main() {
 		}
 	}
 
-	rep, art, err := core.RunFlowFull(d, core.Config{
+	cfg := core.Config{
 		Arch: arch, Flow: flow, ClockPeriod: *clock, Seed: *seed,
 		PlaceEffort: *effort, Verify: *verify, SkipCompaction: *skipCompact,
-	})
+	}
+	var rep *core.Report
+	var art *core.Artifacts
+	var err error
+	if *defectRate > 0 {
+		// Defective fabric: run through the repair ladder. The floorplan
+		// and netlist outputs need artifacts, which the repair path does
+		// not expose, so they are unavailable here.
+		cfg.Defects = defect.New(*defectSeed, *defectRate)
+		rep, err = core.RunFlowRepair(ctx, d, cfg)
+		if err == nil && (*floorplan != "" || *netlistOut != "") {
+			fatalf("-floorplan/-netlist are unavailable with -defect-rate")
+		}
+	} else {
+		rep, art, err = core.RunFlowFull(ctx, d, cfg)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -118,6 +146,17 @@ func printReport(r *core.Report) {
 	fmt.Printf("architecture:   %s\n", r.Arch)
 	fmt.Printf("flow:           %s\n", r.Flow)
 	fmt.Printf("gate count:     %.0f NAND2 equivalents\n", r.GateCount)
+	if r.DefectSummary != "" {
+		fmt.Printf("defect map:     %s\n", r.DefectSummary)
+		fmt.Printf("repair:         %d escalation(s) over %d attempt(s)\n", r.Escalations, len(r.Attempts))
+		for _, a := range r.Attempts {
+			status := "ok"
+			if a.Err != "" {
+				status = a.Err
+			}
+			fmt.Printf("  attempt %d (%s, seed %d): %s\n", a.Attempt, a.Action, a.Seed, status)
+		}
+	}
 	if r.CompactionReduction > 0 {
 		fmt.Printf("compaction:     %.1f%% gate-area reduction, %d full adders extracted\n",
 			100*r.CompactionReduction, r.FullAdders)

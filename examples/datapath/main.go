@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +26,7 @@ func main() {
 	clock := 0.0
 	for _, arch := range []*vpga.PLBArch{vpga.GranularPLB(), vpga.LUTPLB()} {
 		for _, flow := range []vpga.FlowKind{vpga.FlowA, vpga.FlowB} {
-			rep, err := vpga.Run(design, vpga.Options{
+			rep, err := vpga.Run(context.Background(), design, vpga.Options{
 				Arch: arch, Flow: flow, ClockPeriod: clock, Seed: 4,
 			})
 			if err != nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +30,7 @@ func main() {
 	}
 
 	fmt.Printf("=== Logic block granularity sweep on %s ===\n\n", design.Name)
-	points, err := vpga.GranularitySweep(design, vpga.DefaultSweepArchs(), 8)
+	points, err := vpga.GranularitySweep(context.Background(), design, vpga.DefaultSweepArchs(), 8)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,7 +22,7 @@ func main() {
 	flag.Parse()
 
 	design := vpga.FIR(8, 8)
-	rep, art, err := vpga.RunFull(design, vpga.Options{
+	rep, art, err := vpga.RunFull(context.Background(), design, vpga.Options{
 		Arch: vpga.GranularPLB(), Flow: vpga.FlowB, Seed: 7, Verify: true,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestInsertBuffersLeavesSmallNetsAlone(t *testing.T) {
 }
 
 func TestWriteFloorplan(t *testing.T) {
-	rep, art, err := RunFlowFull(bench.ALU(8), Config{Arch: cells.GranularPLB(), Flow: FlowB, Seed: 6})
+	rep, art, err := RunFlowFull(context.Background(), bench.ALU(8), Config{Arch: cells.GranularPLB(), Flow: FlowB, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestWriteFloorplan(t *testing.T) {
 }
 
 func TestWriteFloorplanRequiresFlowB(t *testing.T) {
-	rep, art, err := RunFlowFull(bench.ALU(8), Config{Arch: cells.GranularPLB(), Flow: FlowA, Seed: 6})
+	rep, art, err := RunFlowFull(context.Background(), bench.ALU(8), Config{Arch: cells.GranularPLB(), Flow: FlowA, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestWriteFloorplanRequiresFlowB(t *testing.T) {
 }
 
 func TestViaStatsInReport(t *testing.T) {
-	rep, err := RunFlow(bench.ALU(8), Config{Arch: cells.GranularPLB(), Flow: FlowB, Seed: 2})
+	rep, err := RunFlow(context.Background(), bench.ALU(8), Config{Arch: cells.GranularPLB(), Flow: FlowB, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestViaStatsInReport(t *testing.T) {
 }
 
 func TestPowerInReport(t *testing.T) {
-	rep, err := RunFlow(bench.ALU(8), Config{Arch: cells.GranularPLB(), Flow: FlowB, Seed: 2})
+	rep, err := RunFlow(context.Background(), bench.ALU(8), Config{Arch: cells.GranularPLB(), Flow: FlowB, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestDomainExploreSmall(t *testing.T) {
 		t.Skip("slow")
 	}
 	archs := []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()}
-	results, err := DomainExplore([]bench.Design{bench.ALU(8)}, archs, 3)
+	results, err := DomainExplore(context.Background(), []bench.Design{bench.ALU(8)}, archs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestRoutingSweepMonotonicity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	pts, err := RoutingSweep(bench.ALU(8), cells.GranularPLB(), []int{4, 16, 64}, 3)
+	pts, err := RoutingSweep(context.Background(), bench.ALU(8), cells.GranularPLB(), []int{4, 16, 64}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

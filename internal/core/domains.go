@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,13 +28,13 @@ type DomainResult struct {
 // in an application-domain specific manner"): each design stands for a
 // domain, swept across a family of PLB architectures; the winner per
 // domain is chosen by area-delay product.
-func DomainExplore(domains []bench.Design, archs []*cells.PLBArch, seed int64) ([]DomainResult, error) {
+func DomainExplore(ctx context.Context, domains []bench.Design, archs []*cells.PLBArch, seed int64) ([]DomainResult, error) {
 	var out []DomainResult
 	for _, d := range domains {
 		res := DomainResult{Domain: d.Name}
 		clock := 0.0
 		for _, arch := range archs {
-			rep, err := RunFlow(d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: seed})
+			rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: seed})
 			if err != nil {
 				return nil, fmt.Errorf("domain %s on %s: %w", d.Name, arch.Name, err)
 			}

@@ -1,13 +1,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"vpga/internal/bench"
 	"vpga/internal/cells"
+	"vpga/internal/defect"
 	"vpga/internal/logic"
 )
 
@@ -15,8 +20,13 @@ import (
 // of Tables 1 and 2.
 type Matrix struct {
 	Designs []bench.Design
-	// Reports[design][arch][flow]
+	// Reports[design][arch][flow]. Cells whose run failed (or was
+	// skipped because its clock-pinning run failed) stay nil; the
+	// failure itself is in Errors.
 	Reports map[string]map[string]map[string]*Report
+	// Errors is the ledger of failed and skipped runs, sorted by
+	// (design, arch, flow) so it is deterministic at any parallelism.
+	Errors []*FlowError
 }
 
 // MatrixOptions configures a matrix run.
@@ -34,16 +44,92 @@ type MatrixOptions struct {
 	// Calls are serialized, but their order depends on scheduling when
 	// Parallel > 1.
 	Progress func(string)
+	// PerRunTimeout bounds the wall time of each flow run; an expired
+	// run fails with Stage "timeout" (0 = no per-run bound).
+	PerRunTimeout time.Duration
+	// ContinueOnError keeps the matrix going past failing cells: the
+	// failures land in Matrix.Errors and the matrix comes back
+	// partially populated instead of aborting on the first error.
+	ContinueOnError bool
+	// Defects injects a fabric defect map into every run. Defective
+	// runs go through the bounded repair ladder (RunFlowRepair).
+	Defects *defect.Map
+	// RepairBudget caps repair escalations (0 = DefaultRepairBudget).
+	RepairBudget int
+}
+
+// testPanicHook, when set by a test, is called at the top of every
+// supervised run and may panic to exercise worker panic isolation.
+var testPanicHook func(design, arch string, flow FlowKind)
+
+// supervisedRun executes one flow run under the supervisor: a per-run
+// timeout, panic isolation (a crashed worker becomes a *FlowError with
+// Stage "panic" instead of taking down the process), and the repair
+// ladder when a defect map is present.
+func supervisedRun(ctx context.Context, d bench.Design, cfg Config, timeout time.Duration) (rep *Report, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rep = nil
+			err = &FlowError{Design: d.Name, Arch: cfg.Arch.Name, Flow: cfg.Flow.String(),
+				Stage: "panic", Err: fmt.Errorf("%v\n%s", r, debug.Stack())}
+		}
+	}()
+	if testPanicHook != nil {
+		testPanicHook(d.Name, cfg.Arch.Name, cfg.Flow)
+	}
+	if cfg.Defects != nil {
+		return RunFlowRepair(ctx, d, cfg)
+	}
+	return RunFlow(ctx, d, cfg)
+}
+
+// asFlowError coerces err into a *FlowError for the ledger.
+func asFlowError(d bench.Design, arch *cells.PLBArch, flow FlowKind, err error) *FlowError {
+	if fe, ok := err.(*FlowError); ok {
+		return fe
+	}
+	return &FlowError{Design: d.Name, Arch: arch.Name, Flow: flow.String(), Stage: "flow", Err: err}
+}
+
+// sortLedger orders the error ledger by (design, arch, flow) so it is
+// identical at any worker count.
+func sortLedger(errs []*FlowError) {
+	sort.Slice(errs, func(i, j int) bool {
+		a, b := errs[i], errs[j]
+		if a.Design != b.Design {
+			return a.Design < b.Design
+		}
+		if a.Arch != b.Arch {
+			return a.Arch < b.Arch
+		}
+		return a.Flow < b.Flow
+	})
 }
 
 // RunMatrix executes every (design, arch, flow) combination on a
-// bounded worker pool. The clock period of each design is fixed across
-// its four runs — 1.2× the post-layout arrival of the first run — so
-// slack comparisons are apples to apples, mirroring the paper's single
-// cycle time per table. Designs run concurrently; within a design the
-// three clock-dependent runs fan out as soon as the clock-pinning run
-// finishes.
-func RunMatrix(suite bench.Suite, opts MatrixOptions) (*Matrix, error) {
+// bounded worker pool under the flow supervisor. The clock period of
+// each design is fixed across its four runs — 1.2× the post-layout
+// arrival of the first run — so slack comparisons are apples to
+// apples, mirroring the paper's single cycle time per table. Designs
+// run concurrently; within a design the three clock-dependent runs fan
+// out as soon as the clock-pinning run finishes.
+//
+// Failures never crash or hang the pool: a panicking worker, a timed
+// out run, or an unroutable defect map becomes a *FlowError in the
+// returned matrix's ledger. With opts.ContinueOnError the remaining
+// cells still run and the partially-populated matrix is returned with
+// a nil error; otherwise the pool drains and RunMatrix returns the
+// partial matrix together with the first error. Cancelling ctx stops
+// the matrix at the next iteration boundary of every in-flight run.
+func RunMatrix(ctx context.Context, suite bench.Suite, opts MatrixOptions) (*Matrix, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	par := opts.Parallel
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -62,34 +148,41 @@ func RunMatrix(suite bench.Suite, opts MatrixOptions) (*Matrix, error) {
 
 	var (
 		sem      = make(chan struct{}, par)
-		mu       sync.Mutex // guards Reports, firstErr, Progress
+		mu       sync.Mutex // guards Reports, Errors, firstErr, Progress
 		firstErr error
 		wg       sync.WaitGroup
 	)
-	fail := func(err error) {
+	fail := func(fe *FlowError) {
 		mu.Lock()
+		m.Errors = append(m.Errors, fe)
 		if firstErr == nil {
-			firstErr = err
+			firstErr = fe
 		}
 		mu.Unlock()
 	}
 	// runOne executes one flow run on a pool slot; it returns nil
-	// without running when an error has already been recorded.
+	// without running when the matrix is already aborting.
 	runOne := func(d bench.Design, arch *cells.PLBArch, flow FlowKind, clock float64) *Report {
 		sem <- struct{}{}
 		defer func() { <-sem }()
 		mu.Lock()
-		bail := firstErr != nil
+		bail := firstErr != nil && !opts.ContinueOnError
 		mu.Unlock()
+		cfg := Config{
+			Arch: arch, Flow: flow, ClockPeriod: clock,
+			Seed: opts.Seed, PlaceEffort: opts.PlaceEffort, Verify: opts.Verify,
+			Defects: opts.Defects, RepairBudget: opts.RepairBudget,
+		}
 		if bail {
 			return nil
 		}
-		rep, err := RunFlow(d, Config{
-			Arch: arch, Flow: flow, ClockPeriod: clock,
-			Seed: opts.Seed, PlaceEffort: opts.PlaceEffort, Verify: opts.Verify,
-		})
-		if err != nil {
+		if err := ctxFlowErr(ctx, d, cfg); err != nil {
 			fail(err)
+			return nil
+		}
+		rep, err := supervisedRun(ctx, d, cfg, opts.PerRunTimeout)
+		if err != nil {
+			fail(asFlowError(d, arch, flow, err))
 			return nil
 		}
 		return rep
@@ -102,6 +195,20 @@ func RunMatrix(suite bench.Suite, opts MatrixOptions) (*Matrix, error) {
 		}
 		mu.Unlock()
 	}
+	// skipDependents records the three clock-dependent cells of a design
+	// whose clock-pinning run failed, so the ledger accounts for every
+	// cell that did not produce a report.
+	skipDependents := func(d bench.Design) {
+		for _, arch := range archs {
+			for _, flow := range []FlowKind{FlowA, FlowB} {
+				if arch == archs[0] && flow == FlowA {
+					continue
+				}
+				fail(&FlowError{Design: d.Name, Arch: arch.Name, Flow: flow.String(),
+					Stage: "skipped", Err: fmt.Errorf("clock-pinning run failed")})
+			}
+		}
+	}
 
 	for _, d := range m.Designs {
 		wg.Add(1)
@@ -112,6 +219,9 @@ func RunMatrix(suite bench.Suite, opts MatrixOptions) (*Matrix, error) {
 			// zero like the paper's Table 2.
 			first := runOne(d, archs[0], FlowA, 0)
 			if first == nil {
+				if opts.ContinueOnError {
+					skipDependents(d)
+				}
 				return
 			}
 			clock := 1.2 * first.MaxArrival
@@ -138,8 +248,9 @@ func RunMatrix(suite bench.Suite, opts MatrixOptions) (*Matrix, error) {
 		}(d)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	sortLedger(m.Errors)
+	if firstErr != nil && !opts.ContinueOnError {
+		return m, firstErr
 	}
 	return m, nil
 }
@@ -340,12 +451,12 @@ type SweepPoint struct {
 // architectures of increasing granularity (experiment E8). The first
 // architecture pins the clock period; the remaining points then run
 // concurrently (bounded by GOMAXPROCS) with deterministic results.
-func GranularitySweep(d bench.Design, archs []*cells.PLBArch, seed int64) ([]SweepPoint, error) {
+func GranularitySweep(ctx context.Context, d bench.Design, archs []*cells.PLBArch, seed int64) ([]SweepPoint, error) {
 	if len(archs) == 0 {
 		return nil, nil
 	}
 	point := func(arch *cells.PLBArch, clock float64) (SweepPoint, float64, error) {
-		rep, err := RunFlow(d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: seed})
+		rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: seed})
 		if err != nil {
 			return SweepPoint{}, 0, fmt.Errorf("sweep %s: %w", arch.Name, err)
 		}

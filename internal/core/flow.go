@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/compact"
+	"vpga/internal/defect"
 	"vpga/internal/netlist"
 	"vpga/internal/pack"
 	"vpga/internal/place"
@@ -62,6 +64,21 @@ type Config struct {
 	// Verify runs random simulation equivalence between the RTL
 	// netlist and the final implementation netlist.
 	Verify bool
+	// Defects injects a fabric defect map: stuck PLB sites are excluded
+	// from placement, dead tracks from routing, and via-faulted tiles
+	// are penalized. Nil means a clean fabric.
+	Defects *defect.Map
+	// RouteCapacityScale widens (>1) or narrows (<1) the router's
+	// per-edge capacity; zero means 1.0. The repair ladder raises it.
+	RouteCapacityScale float64
+	// RouteCellsScale > 1 coarsens the routing grid into fewer, wider
+	// channels; the repair ladder raises it to dissolve topological
+	// cuts a defect map carved into the finer grid.
+	RouteCellsScale float64
+	// RepairBudget bounds RunFlowRepair's escalation ladder: the number
+	// of retries after the baseline attempt (0 uses DefaultRepairBudget,
+	// negative disables retries).
+	RepairBudget int
 }
 
 // Report collects every figure of merit a flow run produces.
@@ -104,6 +121,15 @@ type Report struct {
 	// the report's clock (µW).
 	PowerUW float64
 	Runtime time.Duration
+
+	// Repair provenance, populated by RunFlowRepair: how many
+	// escalations the run needed (0 = clean first attempt) and the full
+	// attempt ledger, including the failures that triggered escalation.
+	Escalations int
+	Attempts    []AttemptRecord
+	// DefectSummary is the injected defect map's one-line description
+	// (empty for clean-fabric runs).
+	DefectSummary string
 }
 
 // Reclock shifts the report's slack figures to a different clock
@@ -125,28 +151,88 @@ type Artifacts struct {
 	Routes *route.Result
 }
 
-// RunFlow pushes one design through the flow.
-func RunFlow(d bench.Design, cfg Config) (*Report, error) {
-	rep, _, err := RunFlowFull(d, cfg)
+// FlowError is the structured failure record of one flow run: which
+// cell of the experiment space failed, at which stage, on which repair
+// attempt, and why. Supervisors key off the fields (Stage in
+// particular) instead of parsing messages.
+type FlowError struct {
+	Design string
+	Arch   string
+	Flow   string
+	// Stage names the failing flow stage: "rtl", "synth", "map",
+	// "compact", "verify", "place", "sta", "pack", "viamap", "route",
+	// "power" — or "panic" (a crashed worker), "timeout"/"cancelled"
+	// (context expiry), "repair" (escalation budget exhausted),
+	// "skipped" (dependent run not attempted).
+	Stage string
+	// Attempt is the repair-ladder rung (0 = baseline attempt).
+	Attempt int
+	Err     error
+}
+
+func (e *FlowError) Error() string {
+	return fmt.Sprintf("core: %s/%s/%s: %s (attempt %d): %v",
+		e.Design, e.Arch, e.Flow, e.Stage, e.Attempt, e.Err)
+}
+
+func (e *FlowError) Unwrap() error { return e.Err }
+
+// flowErr wraps a stage failure as a *FlowError for one run.
+func flowErr(d bench.Design, cfg Config, stage string, err error) *FlowError {
+	arch := ""
+	if cfg.Arch != nil {
+		arch = cfg.Arch.Name
+	}
+	return &FlowError{Design: d.Name, Arch: arch, Flow: cfg.Flow.String(), Stage: stage, Err: err}
+}
+
+// ctxFlowErr reports a context expiry as a *FlowError, distinguishing
+// timeouts from cancellations; it returns nil while ctx is live.
+func ctxFlowErr(ctx context.Context, d bench.Design, cfg Config) *FlowError {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	stage := "cancelled"
+	if err == context.DeadlineExceeded {
+		stage = "timeout"
+	}
+	return flowErr(d, cfg, stage, err)
+}
+
+// RunFlow pushes one design through the flow. The context cancels the
+// run at stage and iteration boundaries; a run that completes without
+// cancellation is bit-identical to an uncancellable one.
+func RunFlow(ctx context.Context, d bench.Design, cfg Config) (*Report, error) {
+	rep, _, err := RunFlowFull(ctx, d, cfg)
 	return rep, err
 }
 
 // RunFlowFull is RunFlow returning the physical artifacts as well.
-func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
+func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.PlaceEffort == 0 {
 		cfg.PlaceEffort = 6
 	}
 	rep := &Report{Design: d.Name, Arch: cfg.Arch.Name, Flow: cfg.Flow.String()}
+	if cfg.Defects != nil {
+		rep.DefectSummary = cfg.Defects.String()
+	}
+	if err := ctxFlowErr(ctx, d, cfg); err != nil {
+		return nil, nil, err
+	}
 
 	// Synthesis front end.
 	rtlNet, err := compileRTL(d)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, flowErr(d, cfg, "rtl", err)
 	}
 	des, err := aig.FromNetlist(rtlNet)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: %s: %w", d.Name, err)
+		return nil, nil, flowErr(d, cfg, "synth", err)
 	}
 	des.Optimize(3)
 
@@ -154,7 +240,7 @@ func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 	// compaction step is the area-recovery stage, as in the paper.
 	mapped, err := techmap.Map(des, cfg.Arch, techmap.Options{AreaPasses: 1})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: %s: map: %w", d.Name, err)
+		return nil, nil, flowErr(d, cfg, "map", err)
 	}
 	rep.GateCount = mapped.Area
 
@@ -163,7 +249,7 @@ func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 	if !cfg.SkipCompaction {
 		cres, err := compact.Run(mapped.Netlist, cfg.Arch)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: %s: compact: %w", d.Name, err)
+			return nil, nil, flowErr(d, cfg, "compact", err)
 		}
 		impl = cres.Netlist
 		rep.CompactionReduction = cres.Reduction()
@@ -174,7 +260,7 @@ func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 		// for packing: wrap each component cell as its identity config.
 		impl, err = identityConfigs(mapped.Netlist, cfg.Arch)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, flowErr(d, cfg, "compact", err)
 		}
 	}
 
@@ -184,23 +270,36 @@ func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 
 	if cfg.Verify {
 		if err := netlist.Equivalent(rtlNet, impl, 8, 4, cfg.Seed+77); err != nil {
-			return nil, nil, fmt.Errorf("core: %s: implementation not equivalent: %w", d.Name, err)
+			return nil, nil, flowErr(d, cfg, "verify", err)
 		}
+	}
+	if err := ctxFlowErr(ctx, d, cfg); err != nil {
+		return nil, nil, err
 	}
 
 	art := &Artifacts{Impl: impl}
 
-	// ASIC-style placement (physical synthesis).
-	prob, err := place.Build(impl, place.ArchArea(cfg.Arch), place.Options{Seed: cfg.Seed})
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: %s: place: %w", d.Name, err)
+	// ASIC-style placement (physical synthesis). Stuck PLB sites from
+	// the defect map are excluded from the spread and every move.
+	popts := place.Options{Seed: cfg.Seed}
+	if cfg.Defects != nil {
+		popts.Blocked = cfg.Defects.Stuck
 	}
-	prob.Anneal(place.Options{Seed: cfg.Seed, MovesPerObj: cfg.PlaceEffort})
+	prob, err := place.Build(impl, place.ArchArea(cfg.Arch), popts)
+	if err != nil {
+		return nil, nil, flowErr(d, cfg, "place", err)
+	}
+	if err := prob.Anneal(place.Options{Seed: cfg.Seed, MovesPerObj: cfg.PlaceEffort, Ctx: ctx}); err != nil {
+		if fe := ctxFlowErr(ctx, d, cfg); fe != nil {
+			return nil, nil, fe
+		}
+		return nil, nil, flowErr(d, cfg, "place", err)
+	}
 
 	// Pre-layout timing for net weighting and the provisional clock.
 	pre, err := sta.Analyze(impl, cfg.Arch, nil, nil, sta.Options{ClockPeriod: cfg.ClockPeriod})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: %s: pre-layout sta: %w", d.Name, err)
+		return nil, nil, flowErr(d, cfg, "sta", err)
 	}
 	clock := cfg.ClockPeriod
 	if clock == 0 {
@@ -217,7 +316,7 @@ func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 		crit := sta.ObjCriticality(impl, prob, pre, clock)
 		pres, err := pack.Run(impl, cfg.Arch, prob, pack.Options{Seed: cfg.Seed, Criticality: crit})
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: %s: pack: %w", d.Name, err)
+			return nil, nil, flowErr(d, cfg, "pack", err)
 		}
 		art.Pack = pres
 		rep.Rows, rep.Cols = pres.Rows, pres.Cols
@@ -229,16 +328,27 @@ func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 			rep.PopulatedVias = vrep.PopulatedVias
 			rep.ViaSitesPerPLB = vrep.PotentialPerPLB
 		} else {
-			return nil, nil, fmt.Errorf("core: %s: viamap: %w", d.Name, err)
+			return nil, nil, flowErr(d, cfg, "viamap", err)
 		}
 	} else {
 		rep.DieArea = prob.W * prob.H
 	}
+	if err := ctxFlowErr(ctx, d, cfg); err != nil {
+		return nil, nil, err
+	}
 
-	// ASIC-style global routing over the array / core.
-	routes, err := route.Route(prob, route.Options{})
+	// ASIC-style global routing over the array / core. Dead tracks and
+	// via faults from the defect map constrain the search graph.
+	ropts := route.Options{Ctx: ctx, CapacityScale: cfg.RouteCapacityScale, CellsScale: cfg.RouteCellsScale}
+	if cfg.Defects != nil {
+		ropts.Faults = cfg.Defects
+	}
+	routes, err := route.Route(prob, ropts)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: %s: route: %w", d.Name, err)
+		if fe := ctxFlowErr(ctx, d, cfg); fe != nil {
+			return nil, nil, fe
+		}
+		return nil, nil, flowErr(d, cfg, "route", err)
 	}
 	art.Prob = prob
 	art.Routes = routes
@@ -248,7 +358,7 @@ func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 	// Post-layout static timing.
 	post, err := sta.Analyze(impl, cfg.Arch, prob, routes, sta.Options{ClockPeriod: clock})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: %s: post-layout sta: %w", d.Name, err)
+		return nil, nil, flowErr(d, cfg, "sta", err)
 	}
 	rep.AvgTopSlack = post.AvgTopSlack
 	rep.WorstSlack = post.WorstSlack
@@ -258,7 +368,7 @@ func RunFlowFull(d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 	if pw, err := power.Estimate(impl, cfg.Arch, prob, routes, power.Options{ClockPS: clock}); err == nil {
 		rep.PowerUW = pw.TotalUW
 	} else {
-		return nil, nil, fmt.Errorf("core: %s: power: %w", d.Name, err)
+		return nil, nil, flowErr(d, cfg, "power", err)
 	}
 	rep.Runtime = time.Since(start)
 	return rep, art, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -33,7 +34,7 @@ func TestRunMatrixParallelDeterminism(t *testing.T) {
 	run := func(parallel int) (*Matrix, int) {
 		var mu sync.Mutex
 		lines := 0
-		m, err := RunMatrix(suite, MatrixOptions{
+		m, err := RunMatrix(context.Background(), suite, MatrixOptions{
 			Seed: 7, PlaceEffort: 2, Parallel: parallel,
 			Progress: func(string) { mu.Lock(); lines++; mu.Unlock() },
 		})
@@ -75,7 +76,7 @@ func TestRunMatrixParallelError(t *testing.T) {
 		FPU:      bench.FPU(4),
 		Switch:   bench.Switch(2, 4, 2),
 	}
-	if _, err := RunMatrix(suite, MatrixOptions{Seed: 1, PlaceEffort: 1, Parallel: 4}); err == nil {
+	if _, err := RunMatrix(context.Background(), suite, MatrixOptions{Seed: 1, PlaceEffort: 1, Parallel: 4}); err == nil {
 		t.Fatal("expected an error from the broken design")
 	}
 }

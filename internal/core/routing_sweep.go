@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,14 +27,14 @@ type RoutingPoint struct {
 // design is placed and packed once, then routed under a range of
 // per-channel track capacities, reporting congestion, detour cost and
 // post-layout timing at each point.
-func RoutingSweep(d bench.Design, arch *cells.PLBArch, capacities []int, seed int64) ([]RoutingPoint, error) {
-	rep, art, err := RunFlowFull(d, Config{Arch: arch, Flow: FlowB, Seed: seed})
+func RoutingSweep(ctx context.Context, d bench.Design, arch *cells.PLBArch, capacities []int, seed int64) ([]RoutingPoint, error) {
+	rep, art, err := RunFlowFull(ctx, d, Config{Arch: arch, Flow: FlowB, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
 	var out []RoutingPoint
 	for _, cap := range capacities {
-		routes, err := route.Route(art.Prob, route.Options{Capacity: cap})
+		routes, err := route.Route(art.Prob, route.Options{Capacity: cap, Ctx: ctx})
 		if err != nil {
 			return nil, fmt.Errorf("routing sweep capacity %d: %w", cap, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,10 +41,10 @@ func claimVector(c Claims) ([]float64, []string) {
 // claims. Seeds run one after another; each matrix parallelizes
 // internally up to the parallel bound (0 = GOMAXPROCS), which keeps
 // the worker pool saturated without oversubscribing it.
-func StabilityStudy(suite bench.Suite, seeds []int64, effort, parallel int, progress func(string)) (*ClaimStats, error) {
+func StabilityStudy(ctx context.Context, suite bench.Suite, seeds []int64, effort, parallel int, progress func(string)) (*ClaimStats, error) {
 	st := &ClaimStats{Seeds: seeds}
 	for _, seed := range seeds {
-		m, err := RunMatrix(suite, MatrixOptions{Seed: seed, PlaceEffort: effort, Parallel: parallel, Progress: progress})
+		m, err := RunMatrix(ctx, suite, MatrixOptions{Seed: seed, PlaceEffort: effort, Parallel: parallel, Progress: progress})
 		if err != nil {
 			return nil, fmt.Errorf("seed %d: %w", seed, err)
 		}

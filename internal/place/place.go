@@ -6,6 +6,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -38,8 +39,9 @@ type Problem struct {
 	Objs []Obj
 	Nets []Net
 
-	objOf map[netlist.NodeID]int32 // netlist node -> object index
-	rng   *rand.Rand
+	objOf   map[netlist.NodeID]int32 // netlist node -> object index
+	rng     *rand.Rand
+	blocked func(x, y float64) bool // defective sites (nil = clean die)
 
 	// Incremental cost kernel state (see incremental.go) plus scratch
 	// buffers hoisted out of the annealing hot loop.
@@ -75,6 +77,16 @@ type Options struct {
 	// Outline forces the die dimensions (used when placing into a
 	// fixed PLB array); zero means size from utilization.
 	OutlineW, OutlineH float64
+	// Blocked marks defective die sites in normalized coordinates
+	// (position / die dimension, so a defect map applies to any die
+	// size): the initial spread and every annealing move keep movable
+	// objects out of blocked positions. Nil means a clean die.
+	Blocked func(xn, yn float64) bool
+	// Ctx cancels a running Anneal at pass boundaries; a nil context
+	// never cancels. Cancellation only ever truncates the schedule, so
+	// a run that completes without cancellation is bit-identical to one
+	// annealed without a context.
+	Ctx context.Context
 }
 
 // Build extracts the placement problem from a netlist. Objects are
@@ -84,7 +96,10 @@ func Build(nl *netlist.Netlist, area AreaFunc, opts Options) (*Problem, error) {
 	if opts.Utilization == 0 {
 		opts.Utilization = 0.70
 	}
-	p := &Problem{objOf: map[netlist.NodeID]int32{}, rng: rand.New(rand.NewSource(opts.Seed + 1))}
+	p := &Problem{
+		objOf: map[netlist.NodeID]int32{},
+		rng:   rand.New(rand.NewSource(opts.Seed + 1)),
+	}
 
 	groupObj := map[int32]int32{}
 	totalArea := 0.0
@@ -126,6 +141,7 @@ func Build(nl *netlist.Netlist, area AreaFunc, opts Options) (*Problem, error) {
 		side := math.Sqrt(totalArea / opts.Utilization)
 		p.W, p.H = side, side
 	}
+	p.setBlocked(opts.Blocked)
 
 	// Nets: one per driver with readers.
 	for _, n := range nl.Nodes() {
@@ -195,14 +211,57 @@ func (p *Problem) placePads() {
 	}
 }
 
-// randomSpread scatters movable objects uniformly.
+// randomSpread scatters movable objects uniformly, avoiding blocked
+// sites by rejection sampling.
 func (p *Problem) randomSpread() {
 	for i := range p.Objs {
 		if p.Objs[i].Fixed {
 			continue
 		}
-		p.Objs[i].X = p.rng.Float64() * p.W
-		p.Objs[i].Y = p.rng.Float64() * p.H
+		x, y := p.freePosition(p.rng)
+		p.Objs[i].X = x
+		p.Objs[i].Y = y
+	}
+}
+
+// setBlocked installs a normalized-coordinate blocked map, wrapped to
+// the die's absolute frame. The blocked set only ever excludes
+// positions, so installing one never invalidates cached net boxes.
+func (p *Problem) setBlocked(blocked func(xn, yn float64) bool) {
+	if blocked == nil {
+		return
+	}
+	p.blocked = func(x, y float64) bool { return blocked(x/p.W, y/p.H) }
+}
+
+// freePosition draws a uniform die position outside blocked regions.
+// If the map is so dense that sampling keeps failing, the last draw is
+// returned anyway — the flow then fails downstream and the repair loop
+// takes over.
+func (p *Problem) freePosition(rng *rand.Rand) (float64, float64) {
+	var x, y float64
+	for try := 0; try < 64; try++ {
+		x = rng.Float64() * p.W
+		y = rng.Float64() * p.H
+		if p.blocked == nil || !p.blocked(x, y) {
+			break
+		}
+	}
+	return x, y
+}
+
+// evictBlocked re-seats movable objects sitting on blocked sites
+// (force-directed passes and external callers may have dragged them
+// there).
+func (p *Problem) evictBlocked(rng *rand.Rand, movable []int32) {
+	if p.blocked == nil {
+		return
+	}
+	for _, oi := range movable {
+		o := &p.Objs[oi]
+		if p.blocked(o.X, o.Y) {
+			o.X, o.Y = p.freePosition(rng)
+		}
 	}
 }
 
@@ -303,25 +362,37 @@ func (p *Problem) HPWL() float64 {
 // SetNetWeight scales net i's cost contribution (timing criticality).
 func (p *Problem) SetNetWeight(i int, w float64) { p.Nets[i].Weight = w }
 
-// Anneal runs the global simulated-annealing placement.
-func (p *Problem) Anneal(opts Options) {
+// Anneal runs the global simulated-annealing placement. When
+// opts.Ctx is cancelled the anneal stops at the next pass boundary and
+// returns the context's error; the placement is then incomplete but
+// structurally valid. If opts.Blocked is set (or Build received a
+// blocked map), movable objects are evicted from blocked sites before
+// annealing and no move re-enters one.
+func (p *Problem) Anneal(opts Options) error {
 	if opts.MovesPerObj == 0 {
 		opts.MovesPerObj = 8
 	}
+	if opts.Blocked != nil {
+		p.setBlocked(opts.Blocked)
+	}
 	movable := p.movable()
 	if len(movable) == 0 {
-		return
+		return nil
 	}
 	// Connectivity-aware seeding, then a low-temperature anneal: the
 	// force-directed solution is already global, so the anneal refines
 	// rather than re-melts.
 	p.ForceDirected(30)
-	p.initBoxes()
 	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	p.evictBlocked(rng, movable)
+	p.initBoxes()
 	temp := p.estimateInitialTemp(rng, movable) * 0.05
 	window := math.Max(p.W, p.H) * 0.15
 	minTemp := temp * 1e-4
 	for temp > minTemp {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return err
+		}
 		accepted := 0
 		moves := opts.MovesPerObj * len(movable)
 		for m := 0; m < moves; m++ {
@@ -344,7 +415,19 @@ func (p *Problem) Anneal(opts Options) {
 		}
 		window = math.Max(window*(1-0.44+rate), math.Max(p.W, p.H)*0.02)
 	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return err
+	}
 	p.Refine(0.05, 2, opts.Seed+13)
+	return nil
+}
+
+// ctxErr is a nil-tolerant ctx.Err().
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // movable returns the non-fixed object indexes. Fixed flags are set
@@ -398,6 +481,12 @@ func (p *Problem) tryMove(rng *rand.Rand, movable []int32, window, temp float64)
 			return false
 		}
 		q := &p.Objs[oj]
+		// A swap moves each object onto the other's site; both targets
+		// must be usable (an endpoint may sit on a defective site if an
+		// external caller parked it there).
+		if p.blocked != nil && (p.blocked(q.X, q.Y) || p.blocked(o.X, o.Y)) {
+			return false
+		}
 		if len(p.netMark) < len(p.Nets) {
 			p.netMark = make([]int64, len(p.Nets))
 		}
@@ -445,6 +534,9 @@ func (p *Problem) tryMove(rng *rand.Rand, movable []int32, window, temp float64)
 	}
 	nx := clamp(o.X+(rng.Float64()*2-1)*window, 0, p.W)
 	ny := clamp(o.Y+(rng.Float64()*2-1)*window, 0, p.H)
+	if p.blocked != nil && p.blocked(nx, ny) {
+		return false
+	}
 	delta := p.displaceDelta(oi, nx, ny)
 	if p.accept(rng, delta, temp) {
 		p.commitDisplace(oi, nx, ny)
@@ -479,6 +571,9 @@ func (p *Problem) Refine(windowFrac float64, passes int, seed int64) {
 			o := &p.Objs[oi]
 			nx := clamp(o.X+(rng.Float64()*2-1)*window, 0, p.W)
 			ny := clamp(o.Y+(rng.Float64()*2-1)*window, 0, p.H)
+			if p.blocked != nil && p.blocked(nx, ny) {
+				continue
+			}
 			if p.displaceDelta(oi, nx, ny) <= 0 {
 				p.commitDisplace(oi, nx, ny)
 				p.stats.Accepted++

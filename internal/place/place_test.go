@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -251,6 +252,63 @@ func TestSeededAnnealDeterministic(t *testing.T) {
 			t.Fatalf("object %d diverged: (%v,%v) vs (%v,%v)", i,
 				a.Objs[i].X, a.Objs[i].Y, b.Objs[i].X, b.Objs[i].Y)
 		}
+	}
+}
+
+// TestBlockedSitesRespected: with a defective left third of the die,
+// the initial spread and every annealing/refine move must keep movable
+// objects out of it, and the result must stay seed-deterministic.
+func TestBlockedSitesRespected(t *testing.T) {
+	blocked := func(xn, yn float64) bool { return xn < 1.0/3 }
+	build := func() *Problem {
+		_, nl, arch := buildProblem(t, src, 14)
+		p2, err := Build(nl, ArchArea(arch), Options{Seed: 14, Blocked: blocked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p2
+	}
+	a := build()
+	if err := a.Anneal(Options{Seed: 14, MovesPerObj: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, oi := range a.movable() {
+		o := &a.Objs[oi]
+		if o.X < a.W/3 {
+			t.Fatalf("object %q at (%v,%v) inside blocked region [0,%v)", o.Name, o.X, o.Y, a.W/3)
+		}
+	}
+	// Determinism under defects.
+	b := build()
+	if err := b.Anneal(Options{Seed: 14, MovesPerObj: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Objs {
+		if a.Objs[i].X != b.Objs[i].X || a.Objs[i].Y != b.Objs[i].Y {
+			t.Fatalf("object %d diverged under identical blocked anneal", i)
+		}
+	}
+	a.Refine(0.10, 2, 21)
+	for _, oi := range a.movable() {
+		if o := &a.Objs[oi]; o.X < a.W/3 {
+			t.Fatalf("refine moved %q into blocked region", o.Name)
+		}
+	}
+	checkBoxes(t, a, "after blocked anneal+refine")
+}
+
+// TestAnnealCancellation: a pre-cancelled context stops the anneal at
+// the first pass boundary with the context's error.
+func TestAnnealCancellation(t *testing.T) {
+	p, _, _ := buildProblem(t, src, 15)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Anneal(Options{Seed: 15, MovesPerObj: 4, Ctx: ctx}); err != context.Canceled {
+		t.Fatalf("Anneal under cancelled ctx returned %v, want context.Canceled", err)
+	}
+	// A nil / live context completes normally.
+	if err := p.Anneal(Options{Seed: 15, MovesPerObj: 4}); err != nil {
+		t.Fatalf("clean Anneal returned %v", err)
 	}
 }
 

@@ -7,12 +7,24 @@
 package route
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
 	"vpga/internal/place"
 )
+
+// FaultModel describes fabric routing defects to the router without
+// coupling it to a particular defect representation (defect.Map
+// implements it). Coordinates are normalized to [0,1] over the die.
+type FaultModel interface {
+	// DeadTrack reports an open-circuit track bundle crossing the given
+	// position in the given direction; such edges are unusable.
+	DeadTrack(horizontal bool, xn, yn float64) bool
+	// ViaFault reports unreliable via formation at the given position;
+	// edges incident to it are penalized so routes prefer detours.
+	ViaFault(xn, yn float64) bool
+}
 
 // Options tunes the router.
 type Options struct {
@@ -38,7 +50,45 @@ type Options struct {
 	// nearest the driver isolates the rest of the tree); default 30 fF,
 	// zero disables.
 	MaxLoadFF float64
+	// CapacityScale multiplies the (derived or explicit) per-edge
+	// capacity; zero means 1.0. The repair ladder widens channels by
+	// raising it.
+	CapacityScale float64
+	// CellsScale > 1 coarsens the routing grid by that factor: fewer,
+	// physically wider channels. Under a fault model a coarser grid
+	// samples dead tracks at different normalized coordinates, so the
+	// repair ladder uses it to dissolve topological cuts that no
+	// reroute can cross.
+	CellsScale float64
+	// Faults injects fabric routing defects: dead tracks are excluded
+	// from the search graph, via-faulted cells penalize their incident
+	// edges. Nil means a clean fabric.
+	Faults FaultModel
+	// Ctx cancels a running Route at negotiation-iteration boundaries;
+	// nil never cancels. A run that completes without cancellation is
+	// bit-identical to one routed without a context.
+	Ctx context.Context
 }
+
+// RouteError identifies the failing net when routing cannot complete,
+// so repair loops can key off structured fields instead of parsing
+// error strings.
+type RouteError struct {
+	// Net is the placement net index that could not be routed.
+	Net int
+	// Iteration is the 1-based negotiation iteration at failure.
+	Iteration int
+	// Overflow is the total edge-capacity overflow at failure time.
+	Overflow int
+	Err      error
+}
+
+func (e *RouteError) Error() string {
+	return fmt.Sprintf("route: net %d unroutable at iteration %d (overflow %d): %v",
+		e.Net, e.Iteration, e.Overflow, e.Err)
+}
+
+func (e *RouteError) Unwrap() error { return e.Err }
 
 // Result is a routed design.
 type Result struct {
@@ -115,6 +165,10 @@ func Route(prob *place.Problem, opts Options) (*Result, error) {
 	if opts.CellsY == 0 {
 		opts.CellsY = clampInt(int(math.Ceil(prob.H/4)), 4, 512)
 	}
+	if opts.CellsScale > 1 {
+		opts.CellsX = clampInt(int(float64(opts.CellsX)/opts.CellsScale), 2, 512)
+		opts.CellsY = clampInt(int(float64(opts.CellsY)/opts.CellsScale), 2, 512)
+	}
 	if opts.Capacity == 0 {
 		// Track capacity scales with the bin span: roughly 20 tracks of
 		// upper-layer metal per placement unit of bin width (the VPGA
@@ -122,6 +176,9 @@ func Route(prob *place.Problem, opts Options) (*Result, error) {
 		// array).
 		binW := prob.W / float64(opts.CellsX)
 		opts.Capacity = clampInt(int(binW*20), 24, 4096)
+	}
+	if opts.CapacityScale > 0 {
+		opts.Capacity = maxI(1, int(float64(opts.Capacity)*opts.CapacityScale))
 	}
 	r := &router{prob: prob, opts: opts}
 	return r.run()
@@ -150,6 +207,12 @@ type router struct {
 	vHist    []float32
 	netEdges [][]edgeRef // edges per net for rip-up
 	netTrees []map[point][]point
+
+	// Fabric faults, precomputed per edge from opts.Faults: dead edges
+	// are excluded from the search graph, penalized edges carry a fixed
+	// detour surcharge (via faults). Nil slices mean a clean fabric.
+	hDead, vDead []bool
+	hPen, vPen   []float32
 
 	// A* scratch arrays, reused across calls via epoch stamping.
 	gScore  []float64
@@ -194,6 +257,7 @@ func (r *router) run() (*Result, error) {
 	nets := r.prob.Nets
 	r.netEdges = make([][]edgeRef, len(nets))
 	r.netTrees = make([]map[point][]point, len(nets))
+	r.applyFaults()
 
 	presentFactor := 0.5
 	iters := 0
@@ -215,6 +279,13 @@ func (r *router) run() (*Result, error) {
 		bestNetTrees = append(bestNetTrees[:0], r.netTrees...)
 	}
 	for iter := 0; iter < r.opts.MaxIters; iter++ {
+		// Cancellation is honored only at iteration boundaries, so a run
+		// that completes is bit-identical with or without a context.
+		if r.opts.Ctx != nil {
+			if err := r.opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("route: cancelled at iteration %d: %w", iter, err)
+			}
+		}
 		iters = iter + 1
 		rerouted := 0
 		for ni := range nets {
@@ -223,7 +294,7 @@ func (r *router) run() (*Result, error) {
 			}
 			r.ripup(ni)
 			if err := r.routeNet(ni, presentFactor); err != nil {
-				return nil, err
+				return nil, &RouteError{Net: ni, Iteration: iters, Overflow: r.totalOverflow(), Err: err}
 			}
 			rerouted++
 		}
@@ -299,38 +370,156 @@ func (r *router) ripup(ni int) {
 	r.netTrees[ni] = nil
 }
 
+// viaFaultPenalty is the surcharge on edges incident to a via-faulted
+// tile: several times the unit edge cost, so routes detour around the
+// tile whenever a modest detour exists, without making it unreachable.
+const viaFaultPenalty = 8.0
+
+// applyFaults precomputes per-edge fault state from opts.Faults. Each
+// edge is sampled at its midpoint in normalized fabric coordinates;
+// via faults are sampled at tile centers and charged to all incident
+// edges.
+func (r *router) applyFaults() {
+	f := r.opts.Faults
+	if f == nil {
+		return
+	}
+	r.hDead = make([]bool, len(r.hUse))
+	r.vDead = make([]bool, len(r.vUse))
+	r.hPen = make([]float32, len(r.hUse))
+	r.vPen = make([]float32, len(r.vUse))
+	fx := 1 / float64(r.nx)
+	fy := 1 / float64(r.ny)
+	for y := 0; y < r.ny; y++ {
+		for x := 0; x < r.nx-1; x++ {
+			r.hDead[r.hIdx(x, y)] = f.DeadTrack(true, (float64(x)+1.0)*fx, (float64(y)+0.5)*fy)
+		}
+	}
+	for y := 0; y < r.ny-1; y++ {
+		for x := 0; x < r.nx; x++ {
+			r.vDead[r.vIdx(x, y)] = f.DeadTrack(false, (float64(x)+0.5)*fx, (float64(y)+1.0)*fy)
+		}
+	}
+	for y := 0; y < r.ny; y++ {
+		for x := 0; x < r.nx; x++ {
+			if !f.ViaFault((float64(x)+0.5)*fx, (float64(y)+0.5)*fy) {
+				continue
+			}
+			if x > 0 {
+				r.hPen[r.hIdx(x-1, y)] = viaFaultPenalty
+			}
+			if x < r.nx-1 {
+				r.hPen[r.hIdx(x, y)] = viaFaultPenalty
+			}
+			if y > 0 {
+				r.vPen[r.vIdx(x, y-1)] = viaFaultPenalty
+			}
+			if y < r.ny-1 {
+				r.vPen[r.vIdx(x, y)] = viaFaultPenalty
+			}
+		}
+	}
+}
+
+// deadEdge reports whether an edge is open-circuit under the fault
+// model.
+func (r *router) deadEdge(horizontal bool, idx int) bool {
+	if horizontal {
+		return r.hDead != nil && r.hDead[idx]
+	}
+	return r.vDead != nil && r.vDead[idx]
+}
+
 // edgeCost is the negotiated-congestion cost of taking an edge.
 func (r *router) edgeCost(horizontal bool, idx int, presentFactor float64) float64 {
 	var use int16
 	var hist float32
+	var pen float32
 	if horizontal {
 		use, hist = r.hUse[idx], r.hHist[idx]
+		if r.hPen != nil {
+			pen = r.hPen[idx]
+		}
 	} else {
 		use, hist = r.vUse[idx], r.vHist[idx]
+		if r.vPen != nil {
+			pen = r.vPen[idx]
+		}
 	}
-	cost := 1.0 + float64(hist)*0.5
+	cost := 1.0 + float64(hist)*0.5 + float64(pen)
 	if int(use)+1 > r.opts.Capacity {
 		cost += presentFactor * float64(int(use)+1-r.opts.Capacity) * 4
 	}
 	return cost
 }
 
-// pq is the A* frontier.
+// pq is the A* frontier: a binary min-heap on f, specialized to
+// pqItem. The sift algorithms mirror container/heap exactly (same
+// comparisons, same swaps), so pop order — including tie-breaks — is
+// bit-identical to the former heap.Interface implementation, but push
+// and pop move concrete values instead of boxing every item through
+// interface{}. The backing slice is owned by the router's scratch
+// buffer and reused across nets, so steady-state routing allocates
+// nothing per call.
 type pqItem struct {
 	pt   point
 	g, f float64
 }
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].f < q[j].f }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
+// init establishes the heap invariant over the current contents.
+func (q *pq) init() {
+	n := len(*q)
+	for i := n/2 - 1; i >= 0; i-- {
+		q.down(i, n)
+	}
+}
+
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	q.up(len(*q) - 1)
+}
+
+func (q *pq) pop() pqItem {
+	s := *q
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	q.down(0, n)
+	it := s[n]
+	*q = s[:n]
 	return it
+}
+
+func (q *pq) up(j int) {
+	s := *q
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(s[j].f < s[i].f) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (q *pq) down(i0, n int) {
+	s := *q
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && s[j2].f < s[j1].f {
+			j = j2 // right child
+		}
+		if !(s[j].f < s[i].f) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
 }
 
 // routeNet builds the net's routing tree: sinks are connected one at a
@@ -380,7 +569,7 @@ func (r *router) routeNet(ni int, presentFactor float64) error {
 			path, err = r.astar(tree, treeList, sink, presentFactor, -1)
 		}
 		if err != nil {
-			return fmt.Errorf("route: net %d: %w", ni, err)
+			return err
 		}
 		for i := 0; i+1 < len(path); i++ {
 			a, b := path[i], path[i+1]
@@ -456,11 +645,11 @@ func (r *router) astar(tree map[point]bool, treeList []point, sink point, presen
 		r.parent[c] = -1
 		frontier = append(frontier, pqItem{t, 0, manhattan(t, sink)})
 	}
-	heap.Init(&frontier)
+	frontier.init()
 	defer func() { r.scratch = frontier[:0] }()
 	sinkC := cell(sink)
-	for frontier.Len() > 0 {
-		cur := heap.Pop(&frontier).(pqItem)
+	for len(frontier) > 0 {
+		cur := frontier.pop()
 		curC := cell(cur.pt)
 		if r.cStamp[curC] == r.epoch {
 			continue
@@ -511,6 +700,9 @@ func (r *router) relax(frontier *pq, cur pqItem, sink point, nxp, nyp int, ok, h
 	if nxp < r.winX0 || nxp > r.winX1 || nyp < r.winY0 || nyp > r.winY1 {
 		return
 	}
+	if r.deadEdge(horizontal, edgeIdx) {
+		return
+	}
 	p := point{int16(nxp), int16(nyp)}
 	c := int32(nyp)*int32(r.nx) + int32(nxp)
 	if r.cStamp[c] == r.epoch {
@@ -523,7 +715,7 @@ func (r *router) relax(frontier *pq, cur pqItem, sink point, nxp, nyp int, ok, h
 	r.gScore[c] = g
 	r.gStamp[c] = r.epoch
 	r.parent[c] = int32(cur.pt.y)*int32(r.nx) + int32(cur.pt.x)
-	heap.Push(frontier, pqItem{p, g, g + manhattan(p, sink)})
+	frontier.push(pqItem{p, g, g + manhattan(p, sink)})
 }
 
 // finish extracts lengths, per-sink distances and congestion stats.

@@ -29,11 +29,13 @@
 package vpga
 
 import (
+	"context"
 	"io"
 
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/core"
+	"vpga/internal/defect"
 	"vpga/internal/logic"
 	"vpga/internal/netlist"
 	"vpga/internal/rtl"
@@ -86,8 +88,12 @@ func CustomPLB(name string, nMux, nXoa, nNand, nLut, nFF int) *PLBArch {
 	return cells.CustomPLB(name, nMux, nXoa, nNand, nLut, nFF)
 }
 
-// Run pushes one design through the implementation flow.
-func Run(d Design, cfg Config) (*Report, error) { return core.RunFlow(d, cfg) }
+// Run pushes one design through the implementation flow. The context
+// cancels the run at stage and iteration boundaries; pass
+// context.Background() when no cancellation is needed.
+func Run(ctx context.Context, d Design, cfg Config) (*Report, error) {
+	return core.RunFlow(ctx, d, cfg)
+}
 
 // Compile parses and elaborates RTL source (the dialect documented in
 // internal/rtl) into a gate-level netlist.
@@ -127,8 +133,18 @@ type Matrix = core.Matrix
 // MatrixOptions configures RunMatrix.
 type MatrixOptions = core.MatrixOptions
 
-// RunMatrix executes the full Table 1/2 experiment.
-func RunMatrix(s Suite, opts MatrixOptions) (*Matrix, error) { return core.RunMatrix(s, opts) }
+// FlowError is the structured failure record of one flow run.
+type FlowError = core.FlowError
+
+// AttemptRecord documents one rung of the repair ladder.
+type AttemptRecord = core.AttemptRecord
+
+// RunMatrix executes the full Table 1/2 experiment under the flow
+// supervisor: worker panics, per-run timeouts and unroutable defect
+// maps become entries in the matrix's error ledger instead of crashes.
+func RunMatrix(ctx context.Context, s Suite, opts MatrixOptions) (*Matrix, error) {
+	return core.RunMatrix(ctx, s, opts)
+}
 
 // Claims holds the derived Section 3.2 statistics.
 type Claims = core.Claims
@@ -140,8 +156,8 @@ func Fig2Text() string { return core.Fig2Text() }
 type SweepPoint = core.SweepPoint
 
 // GranularitySweep runs a design across a family of PLB architectures.
-func GranularitySweep(d Design, archs []*PLBArch, seed int64) ([]SweepPoint, error) {
-	return core.GranularitySweep(d, archs, seed)
+func GranularitySweep(ctx context.Context, d Design, archs []*PLBArch, seed int64) ([]SweepPoint, error) {
+	return core.GranularitySweep(ctx, d, archs, seed)
 }
 
 // DefaultSweepArchs returns the standard granularity family.
@@ -174,8 +190,8 @@ type ClaimStats = core.ClaimStats
 // StabilityStudy runs the Table 1/2 matrix once per seed and reports
 // mean/min/max of every headline claim. Each matrix parallelizes
 // across all cores; results are seed-deterministic.
-func StabilityStudy(s Suite, seeds []int64, effort int) (*ClaimStats, error) {
-	return core.StabilityStudy(s, seeds, effort, 0, nil)
+func StabilityStudy(ctx context.Context, s Suite, seeds []int64, effort int) (*ClaimStats, error) {
+	return core.StabilityStudy(ctx, s, seeds, effort, 0, nil)
 }
 
 // DomainResult reports per-domain architecture comparisons.
@@ -183,8 +199,8 @@ type DomainResult = core.DomainResult
 
 // DomainExplore finds the best PLB architecture per application
 // domain (the paper's Sec. 4 future work).
-func DomainExplore(domains []Design, archs []*PLBArch, seed int64) ([]DomainResult, error) {
-	return core.DomainExplore(domains, archs, seed)
+func DomainExplore(ctx context.Context, domains []Design, archs []*PLBArch, seed int64) ([]DomainResult, error) {
+	return core.DomainExplore(ctx, domains, archs, seed)
 }
 
 // RoutingPoint is one sample of the routing-architecture sweep.
@@ -192,8 +208,38 @@ type RoutingPoint = core.RoutingPoint
 
 // RoutingSweep routes a packed design under several per-channel track
 // capacities (the paper's routing-architecture future work).
-func RoutingSweep(d Design, arch *PLBArch, capacities []int, seed int64) ([]RoutingPoint, error) {
-	return core.RoutingSweep(d, arch, capacities, seed)
+func RoutingSweep(ctx context.Context, d Design, arch *PLBArch, capacities []int, seed int64) ([]RoutingPoint, error) {
+	return core.RoutingSweep(ctx, d, arch, capacities, seed)
+}
+
+// Defect-aware fabric (yield experiments).
+
+// DefectMap is a seeded map of fabric defects: stuck PLB sites, dead
+// routing tracks and via faults, in normalized coordinates so one map
+// applies to any die size.
+type DefectMap = defect.Map
+
+// NewDefectMap samples a defect map at the given rate per fabric tile.
+func NewDefectMap(seed int64, rate float64) *DefectMap { return defect.New(seed, rate) }
+
+// RunRepair runs the flow with the bounded-escalation repair loop
+// (reseed, widen channels, relax clock) — see Config.Defects and
+// Config.RepairBudget.
+func RunRepair(ctx context.Context, d Design, cfg Config) (*Report, error) {
+	return core.RunFlowRepair(ctx, d, cfg)
+}
+
+// YieldResult aggregates a defect-yield sweep.
+type YieldResult = core.YieldResult
+
+// YieldOptions configures DefectYield.
+type YieldOptions = core.YieldOptions
+
+// DefectYield runs one (design, arch) flow across many independent
+// defect maps through the repair ladder and reports fabric yield per
+// escalation depth.
+func DefectYield(ctx context.Context, d Design, arch *PLBArch, opts YieldOptions) (*YieldResult, error) {
+	return core.DefectYield(ctx, d, arch, opts)
 }
 
 // Artifacts carries the physical results (netlist, placement, packing,
@@ -201,7 +247,9 @@ func RoutingSweep(d Design, arch *PLBArch, capacities []int, seed int64) ([]Rout
 type Artifacts = core.Artifacts
 
 // RunFull is Run returning the physical artifacts as well.
-func RunFull(d Design, cfg Config) (*Report, *Artifacts, error) { return core.RunFlowFull(d, cfg) }
+func RunFull(ctx context.Context, d Design, cfg Config) (*Report, *Artifacts, error) {
+	return core.RunFlowFull(ctx, d, cfg)
+}
 
 // WriteFloorplan renders a flow-b result as a textual floorplan: array
 // occupancy, per-PLB configuration inventory with via programs, and

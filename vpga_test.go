@@ -1,6 +1,7 @@
 package vpga
 
 import (
+	"context"
 	"testing"
 
 	"vpga/internal/logic"
@@ -37,7 +38,7 @@ func TestPublicAPISmoke(t *testing.T) {
 }
 
 func TestPublicAPIRunFlow(t *testing.T) {
-	rep, err := Run(ALU(8), Options{Arch: GranularPLB(), Flow: FlowB, Seed: 3, Verify: true})
+	rep, err := Run(context.Background(), ALU(8), Options{Arch: GranularPLB(), Flow: FlowB, Seed: 3, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
