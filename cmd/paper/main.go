@@ -17,6 +17,13 @@
 //	-keep-going      continue the matrix past failing cells (error ledger)
 //	-timeout D       overall wall-clock budget (e.g. 30s); SIGINT also cancels
 //
+// Observability:
+//
+//	-trace F    write a Chrome trace-event JSON (load in chrome://tracing
+//	            or ui.perfetto.dev) of every flow run — one row per
+//	            worker, stage spans, solver counters, repair attempts —
+//	            and print a per-stage wall-time summary on stderr
+//
 // Scale: -scale test (fast miniatures) or -scale paper (gate counts
 // approximating the published designs; minutes of runtime).
 package main
@@ -34,7 +41,13 @@ import (
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/core"
+	"vpga/internal/obs"
 )
+
+// flushTrace, when tracing is on, writes the Chrome trace file and the
+// stderr stage summary; fatalf calls it so a partial trace survives an
+// aborted experiment.
+var flushTrace = func() {}
 
 func main() {
 	table := flag.Int("table", 0, "regenerate table 1 or 2")
@@ -57,7 +70,29 @@ func main() {
 	keepGoing := flag.Bool("keep-going", false, "continue the matrix past failing cells; failures land in the error ledger")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of every flow run to this file and a per-stage summary to stderr")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+		path := *traceFile
+		flushTrace = func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paper: trace: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paper: trace: %v\n", err)
+				return
+			}
+			fmt.Fprint(os.Stderr, tracer.SummaryTable())
+			fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", path)
+		}
+		defer flushTrace()
+	}
 
 	// The process-wide context: cancelled by -timeout expiry or SIGINT,
 	// draining every worker pool at the next iteration boundary.
@@ -132,8 +167,8 @@ func main() {
 		var err error
 		matrix, err = core.RunMatrix(ctx, suite, core.MatrixOptions{
 			Seed: *seed, PlaceEffort: *effort, Parallel: *parallel,
-			ContinueOnError: *keepGoing,
-			Progress:        func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
+			ContinueOnError: *keepGoing, Trace: tracer,
+			Progress: func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
 		})
 		if err != nil {
 			printLedger(matrix)
@@ -169,7 +204,10 @@ func main() {
 		fmt.Println("Compaction ablation (E4): gate-area reduction by design and architecture")
 		for _, d := range suite.All() {
 			for _, arch := range []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()} {
-				rep, err := core.RunFlow(ctx, d, core.Config{Arch: arch, Flow: core.FlowA, Seed: *seed, PlaceEffort: *effort})
+				cfg := core.Config{Arch: arch, Flow: core.FlowA, Seed: *seed, PlaceEffort: *effort,
+					Trace: tracer.NewRun(d.Name + "/" + arch.Name + "/compaction")}
+				rep, err := core.RunFlow(ctx, d, cfg)
+				cfg.Trace.Close()
 				if err != nil {
 					fatalf("%v", err)
 				}
@@ -220,7 +258,7 @@ func main() {
 			*defectMaps, *defectRate)
 		res, err := core.DefectYield(ctx, suite.ALU, cells.GranularPLB(), core.YieldOptions{
 			Rate: *defectRate, Maps: *defectMaps, BaseSeed: *defectSeed,
-			FlowSeed: *seed, Parallel: *parallel,
+			FlowSeed: *seed, Parallel: *parallel, Trace: tracer,
 			Progress: func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
 		})
 		if err != nil {
@@ -243,5 +281,6 @@ func printLedger(m *core.Matrix) {
 
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "paper: "+format+"\n", args...)
+	flushTrace()
 	os.Exit(1)
 }

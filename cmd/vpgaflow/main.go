@@ -5,8 +5,12 @@
 //
 //	vpgaflow -design alu|firewire|fpu|switch -arch granular|lut -flow a|b
 //	         [-scale test|paper] [-seed N] [-effort N] [-clock PS]
-//	         [-verify] [-skip-compaction]
+//	         [-verify] [-skip-compaction] [-trace out.json]
 //	vpgaflow -rtl file.v -arch granular -flow b     # custom RTL input
+//
+// -trace writes a Chrome trace-event JSON of the run (stage spans,
+// solver counters, repair attempts; open in chrome://tracing or
+// ui.perfetto.dev) and prints a per-stage wall-time summary on stderr.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"vpga/internal/cells"
 	"vpga/internal/core"
 	"vpga/internal/defect"
+	"vpga/internal/obs"
 )
 
 func main() {
@@ -38,6 +43,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	defectRate := flag.Float64("defect-rate", 0, "inject a defect map at this rate per fabric tile (runs the repair ladder)")
 	defectSeed := flag.Int64("defect-seed", 100, "defect-map seed")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file and a per-stage summary to stderr")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -96,6 +102,11 @@ func main() {
 		Arch: arch, Flow: flow, ClockPeriod: *clock, Seed: *seed,
 		PlaceEffort: *effort, Verify: *verify, SkipCompaction: *skipCompact,
 	}
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+		cfg.Trace = tracer.NewRun(d.Name + "/" + arch.Name + "/" + flow.String())
+	}
 	var rep *core.Report
 	var art *core.Artifacts
 	var err error
@@ -110,6 +121,19 @@ func main() {
 		}
 	} else {
 		rep, art, err = core.RunFlowFull(ctx, d, cfg)
+	}
+	cfg.Trace.Close()
+	if tracer != nil {
+		f, ferr := os.Create(*traceFile)
+		if ferr != nil {
+			fatalf("trace: %v", ferr)
+		}
+		if werr := tracer.WriteChromeTrace(f); werr != nil {
+			fatalf("trace: %v", werr)
+		}
+		f.Close()
+		fmt.Fprint(os.Stderr, tracer.SummaryTable())
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
 	}
 	if err != nil {
 		fatalf("%v", err)

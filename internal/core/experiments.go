@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -14,6 +15,7 @@ import (
 	"vpga/internal/cells"
 	"vpga/internal/defect"
 	"vpga/internal/logic"
+	"vpga/internal/obs"
 )
 
 // Matrix holds the full 4-design × 2-architecture × 2-flow experiment
@@ -41,8 +43,10 @@ type MatrixOptions struct {
 	// independent of scheduling.
 	Parallel int
 	// Progress, when non-nil, receives one line per completed run.
-	// Calls are serialized, but their order depends on scheduling when
-	// Parallel > 1.
+	// Calls are serialized and delivered in canonical (design, arch,
+	// flow) order at any Parallel setting, so progress output is
+	// deterministic; a cell's line may therefore buffer briefly while
+	// an earlier cell is still running.
 	Progress func(string)
 	// PerRunTimeout bounds the wall time of each flow run; an expired
 	// run fails with Stage "timeout" (0 = no per-run bound).
@@ -56,6 +60,11 @@ type MatrixOptions struct {
 	Defects *defect.Map
 	// RepairBudget caps repair escalations (0 = DefaultRepairBudget).
 	RepairBudget int
+	// Trace, when set, records every run's stage spans and solver
+	// counters; runs map onto tracer worker rows as pool slots free up,
+	// so the exported Chrome trace has one row per worker. Tracing
+	// never changes reports (see Report.StripMetrics).
+	Trace *obs.Tracer
 }
 
 // testPanicHook, when set by a test, is called at the top of every
@@ -88,12 +97,92 @@ func supervisedRun(ctx context.Context, d bench.Design, cfg Config, timeout time
 	return RunFlow(ctx, d, cfg)
 }
 
-// asFlowError coerces err into a *FlowError for the ledger.
+// asFlowError coerces err into a *FlowError for the ledger. It walks
+// the wrap chain with errors.As — a stage error wrapped by fmt.Errorf
+// keeps its real failing stage instead of degrading to "flow".
 func asFlowError(d bench.Design, arch *cells.PLBArch, flow FlowKind, err error) *FlowError {
-	if fe, ok := err.(*FlowError); ok {
+	var fe *FlowError
+	if errors.As(err, &fe) {
 		return fe
 	}
 	return &FlowError{Design: d.Name, Arch: arch.Name, Flow: flow.String(), Stage: "flow", Err: err}
+}
+
+// progressEmitter delivers Progress lines outside the pool mutex:
+// every matrix cell holds a pre-assigned ticket (its canonical
+// (design, arch, flow) index), a worker deposits its rendered line —
+// or an empty placeholder for a failed cell — and returns to the pool
+// immediately; a single emitter goroutine delivers lines one at a
+// time in ticket order. Callbacks therefore stay serialized and
+// arrive in the same order at any worker count, but a slow — or even
+// matrix-re-entrant — callback can no longer hold the pool mutex and
+// serialize or deadlock the workers.
+type progressEmitter struct {
+	cb   func(string)
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int            // next ticket to deliver
+	buf  map[int]string // deposited lines awaiting delivery
+	done bool           // no further deposits will arrive
+	quit chan struct{}  // closed when the emitter goroutine drains
+}
+
+func newProgressEmitter(cb func(string)) *progressEmitter {
+	e := &progressEmitter{cb: cb, buf: map[int]string{}, quit: make(chan struct{})}
+	e.cond = sync.NewCond(&e.mu)
+	go e.loop()
+	return e
+}
+
+func (e *progressEmitter) deposit(ticket int, line string) {
+	e.mu.Lock()
+	e.buf[ticket] = line
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+func (e *progressEmitter) loop() {
+	defer close(e.quit)
+	e.mu.Lock()
+	for {
+		if line, ok := e.buf[e.next]; ok {
+			delete(e.buf, e.next)
+			e.next++
+			e.mu.Unlock()
+			if line != "" { // failed cells deposit a placeholder
+				e.cb(line) // outside the lock: the callback may block freely
+			}
+			e.mu.Lock()
+			continue
+		}
+		if e.done {
+			// Cells skipped by an abort never deposit; jump their gap
+			// and deliver whatever remains in ticket order.
+			if len(e.buf) == 0 {
+				e.mu.Unlock()
+				return
+			}
+			min := -1
+			for t := range e.buf {
+				if min < 0 || t < min {
+					min = t
+				}
+			}
+			e.next = min
+			continue
+		}
+		e.cond.Wait()
+	}
+}
+
+// close ends the stream and blocks until every deposited line has been
+// delivered. Callers must have finished all deposits.
+func (e *progressEmitter) close() {
+	e.mu.Lock()
+	e.done = true
+	e.mu.Unlock()
+	e.cond.Signal()
+	<-e.quit
 }
 
 // sortLedger orders the error ledger by (design, arch, flow) so it is
@@ -148,10 +237,24 @@ func RunMatrix(ctx context.Context, suite bench.Suite, opts MatrixOptions) (*Mat
 
 	var (
 		sem      = make(chan struct{}, par)
-		mu       sync.Mutex // guards Reports, Errors, firstErr, Progress
+		mu       sync.Mutex // guards Reports, Errors, firstErr
 		firstErr error
 		wg       sync.WaitGroup
+		emitter  *progressEmitter
 	)
+	if opts.Progress != nil {
+		emitter = newProgressEmitter(opts.Progress)
+	}
+	// Every cell owns a pre-assigned progress ticket — its canonical
+	// index in (design, arch, flow) order — so the emitter delivers
+	// lines in the same order at any worker count.
+	flows := []FlowKind{FlowA, FlowB}
+	seq := func(di, ai, fi int) int { return di*len(archs)*len(flows) + ai*len(flows) + fi }
+	skip := func(ticket int) {
+		if emitter != nil {
+			emitter.deposit(ticket, "")
+		}
+	}
 	fail := func(fe *FlowError) {
 		mu.Lock()
 		m.Errors = append(m.Errors, fe)
@@ -161,8 +264,9 @@ func RunMatrix(ctx context.Context, suite bench.Suite, opts MatrixOptions) (*Mat
 		mu.Unlock()
 	}
 	// runOne executes one flow run on a pool slot; it returns nil
-	// without running when the matrix is already aborting.
-	runOne := func(d bench.Design, arch *cells.PLBArch, flow FlowKind, clock float64) *Report {
+	// without running when the matrix is already aborting. A nil
+	// return always deposits the cell's placeholder ticket.
+	runOne := func(d bench.Design, arch *cells.PLBArch, flow FlowKind, clock float64, ticket int) *Report {
 		sem <- struct{}{}
 		defer func() { <-sem }()
 		mu.Lock()
@@ -174,80 +278,98 @@ func RunMatrix(ctx context.Context, suite bench.Suite, opts MatrixOptions) (*Mat
 			Defects: opts.Defects, RepairBudget: opts.RepairBudget,
 		}
 		if bail {
+			skip(ticket)
 			return nil
 		}
 		if err := ctxFlowErr(ctx, d, cfg); err != nil {
 			fail(err)
+			skip(ticket)
 			return nil
 		}
+		cfg.Trace = opts.Trace.NewRun(d.Name + "/" + arch.Name + "/" + flow.String())
+		defer cfg.Trace.Close()
 		rep, err := supervisedRun(ctx, d, cfg, opts.PerRunTimeout)
 		if err != nil {
 			fail(asFlowError(d, arch, flow, err))
+			skip(ticket)
 			return nil
 		}
 		return rep
 	}
-	store := func(d bench.Design, arch *cells.PLBArch, flow FlowKind, rep *Report) {
+	store := func(d bench.Design, arch *cells.PLBArch, flow FlowKind, rep *Report, ticket int) {
+		line := ""
+		if emitter != nil {
+			line = rep.summary()
+		}
 		mu.Lock()
 		m.Reports[d.Name][arch.Name][flow.String()] = rep
-		if opts.Progress != nil {
-			opts.Progress(rep.summary())
-		}
 		mu.Unlock()
+		// The Progress callback runs on the emitter goroutine, never
+		// under mu: a slow callback cannot serialize the pool.
+		if emitter != nil {
+			emitter.deposit(ticket, line)
+		}
 	}
 	// skipDependents records the three clock-dependent cells of a design
 	// whose clock-pinning run failed, so the ledger accounts for every
 	// cell that did not produce a report.
-	skipDependents := func(d bench.Design) {
-		for _, arch := range archs {
-			for _, flow := range []FlowKind{FlowA, FlowB} {
-				if arch == archs[0] && flow == FlowA {
+	skipDependents := func(di int, d bench.Design) {
+		for ai, arch := range archs {
+			for fi, flow := range flows {
+				if ai == 0 && flow == FlowA {
 					continue
 				}
 				fail(&FlowError{Design: d.Name, Arch: arch.Name, Flow: flow.String(),
 					Stage: "skipped", Err: fmt.Errorf("clock-pinning run failed")})
+				skip(seq(di, ai, fi))
 			}
 		}
 	}
 
-	for _, d := range m.Designs {
+	for di, d := range m.Designs {
 		wg.Add(1)
-		go func(d bench.Design) {
+		go func(di int, d bench.Design) {
 			defer wg.Done()
 			// The first run pins the design's clock period for all four
 			// runs: 1.2× its post-layout arrival, so slacks hover near
 			// zero like the paper's Table 2.
-			first := runOne(d, archs[0], FlowA, 0)
+			first := runOne(d, archs[0], FlowA, 0, seq(di, 0, 0))
 			if first == nil {
 				if opts.ContinueOnError {
-					skipDependents(d)
+					skipDependents(di, d)
 				}
+				// Without ContinueOnError the dependents never deposit;
+				// the emitter skips their tickets when it drains.
 				return
 			}
 			clock := 1.2 * first.MaxArrival
 			first.Reclock(clock)
-			store(d, archs[0], FlowA, first)
+			store(d, archs[0], FlowA, first, seq(di, 0, 0))
 
 			// Fan out the three clock-dependent runs.
 			var iwg sync.WaitGroup
-			for _, arch := range archs {
-				for _, flow := range []FlowKind{FlowA, FlowB} {
-					if arch == archs[0] && flow == FlowA {
+			for ai, arch := range archs {
+				for fi, flow := range flows {
+					if ai == 0 && flow == FlowA {
 						continue
 					}
 					iwg.Add(1)
-					go func(arch *cells.PLBArch, flow FlowKind) {
+					go func(ai, fi int, arch *cells.PLBArch, flow FlowKind) {
 						defer iwg.Done()
-						if rep := runOne(d, arch, flow, clock); rep != nil {
-							store(d, arch, flow, rep)
+						ticket := seq(di, ai, fi)
+						if rep := runOne(d, arch, flow, clock, ticket); rep != nil {
+							store(d, arch, flow, rep, ticket)
 						}
-					}(arch, flow)
+					}(ai, fi, arch, flow)
 				}
 			}
 			iwg.Wait()
-		}(d)
+		}(di, d)
 	}
 	wg.Wait()
+	if emitter != nil {
+		emitter.close()
+	}
 	sortLedger(m.Errors)
 	if firstErr != nil && !opts.ContinueOnError {
 		return m, firstErr
@@ -258,6 +380,36 @@ func RunMatrix(ctx context.Context, suite bench.Suite, opts MatrixOptions) (*Mat
 // Get returns one report.
 func (m *Matrix) Get(design, arch string, flow FlowKind) *Report {
 	return m.Reports[design][arch][flow.String()]
+}
+
+// StripMetrics applies Report.StripMetrics to every populated cell, so
+// matrices from different worker counts or tracing settings compare
+// bit-identical.
+func (m *Matrix) StripMetrics() {
+	for _, byArch := range m.Reports {
+		for _, byFlow := range byArch {
+			for _, rep := range byFlow {
+				rep.StripMetrics()
+			}
+		}
+	}
+}
+
+// StageTotals aggregates the per-stage timings of every populated cell
+// across the matrix's workers (empty unless the matrix ran with
+// MatrixOptions.Trace set).
+func (m *Matrix) StageTotals() []obs.StageTiming {
+	var lists [][]obs.StageTiming
+	for _, byArch := range m.Reports {
+		for _, byFlow := range byArch {
+			for _, rep := range byFlow {
+				if rep != nil && len(rep.Stages) > 0 {
+					lists = append(lists, rep.Stages)
+				}
+			}
+		}
+	}
+	return obs.Aggregate(lists...)
 }
 
 // Table1 renders the die-area comparison in the layout of the paper's

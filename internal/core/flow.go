@@ -8,6 +8,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"vpga/internal/compact"
 	"vpga/internal/defect"
 	"vpga/internal/netlist"
+	"vpga/internal/obs"
 	"vpga/internal/pack"
 	"vpga/internal/place"
 	"vpga/internal/power"
@@ -79,6 +81,12 @@ type Config struct {
 	// of retries after the baseline attempt (0 uses DefaultRepairBudget,
 	// negative disables retries).
 	RepairBudget int
+	// Trace, when set, records per-stage spans, solver counters and
+	// repair attempts for this run (see internal/obs). Tracing is pure
+	// observation: a traced run's report is bit-identical to an
+	// untraced one after StripMetrics. Nil disables tracing at zero
+	// hot-path cost.
+	Trace *obs.Run
 }
 
 // Report collects every figure of merit a flow run produces.
@@ -122,6 +130,15 @@ type Report struct {
 	PowerUW float64
 	Runtime time.Duration
 
+	// Stages and Solver are the observability block, populated only
+	// when Config.Trace is set: per-stage wall-clock timings and the
+	// solver counters (annealer passes/moves, router negotiation
+	// trajectory, repair attempts). Like Runtime they are wall-clock
+	// artifacts of one execution — StripMetrics zeroes all three before
+	// bit-identical report comparisons.
+	Stages []obs.StageTiming
+	Solver *obs.SolverMetrics
+
 	// Repair provenance, populated by RunFlowRepair: how many
 	// escalations the run needed (0 = clean first attempt) and the full
 	// attempt ledger, including the failures that triggered escalation.
@@ -130,6 +147,20 @@ type Report struct {
 	// DefectSummary is the injected defect map's one-line description
 	// (empty for clean-fabric runs).
 	DefectSummary string
+}
+
+// StripMetrics zeroes the report's wall-clock and observability
+// fields — Runtime, Stages, Solver. It is the one shared helper the
+// determinism suite uses before bit-identical comparisons, so reports
+// compare equal across worker counts, scheduling orders, and tracing
+// on vs. off.
+func (r *Report) StripMetrics() {
+	if r == nil {
+		return
+	}
+	r.Runtime = 0
+	r.Stages = nil
+	r.Solver = nil
 }
 
 // Reclock shifts the report's slack figures to a different clock
@@ -194,7 +225,9 @@ func ctxFlowErr(ctx context.Context, d bench.Design, cfg Config) *FlowError {
 		return nil
 	}
 	stage := "cancelled"
-	if err == context.DeadlineExceeded {
+	// errors.Is, not ==: custom contexts and wrapped deadline errors
+	// must classify as timeouts too.
+	if errors.Is(err, context.DeadlineExceeded) {
 		stage = "timeout"
 	}
 	return flowErr(d, cfg, stage, err)
@@ -226,29 +259,39 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	}
 
 	// Synthesis front end.
+	end := cfg.Trace.Stage("rtl")
 	rtlNet, err := compileRTL(d)
+	end()
 	if err != nil {
 		return nil, nil, flowErr(d, cfg, "rtl", err)
 	}
+	end = cfg.Trace.Stage("synth")
 	des, err := aig.FromNetlist(rtlNet)
 	if err != nil {
+		end()
 		return nil, nil, flowErr(d, cfg, "synth", err)
 	}
 	des.Optimize(3)
+	end()
 
 	// Delay-oriented technology mapping to the component library; the
 	// compaction step is the area-recovery stage, as in the paper.
+	end = cfg.Trace.Stage("map")
 	mapped, err := techmap.Map(des, cfg.Arch, techmap.Options{AreaPasses: 1})
+	end()
 	if err != nil {
 		return nil, nil, flowErr(d, cfg, "map", err)
 	}
 	rep.GateCount = mapped.Area
 
-	// Regularity-driven logic compaction.
+	// Regularity-driven logic compaction (the span also covers the
+	// buffer-insertion tail of logic synthesis).
+	end = cfg.Trace.Stage("compact")
 	impl := mapped.Netlist
 	if !cfg.SkipCompaction {
 		cres, err := compact.Run(mapped.Netlist, cfg.Arch)
 		if err != nil {
+			end()
 			return nil, nil, flowErr(d, cfg, "compact", err)
 		}
 		impl = cres.Netlist
@@ -260,6 +303,7 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 		// for packing: wrap each component cell as its identity config.
 		impl, err = identityConfigs(mapped.Netlist, cfg.Arch)
 		if err != nil {
+			end()
 			return nil, nil, flowErr(d, cfg, "compact", err)
 		}
 	}
@@ -267,9 +311,13 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	// Physical synthesis: fanout-driven buffer insertion (Sec. 3.1's
 	// "buffer insertion ... to meet timing constraints").
 	rep.BuffersInserted = insertBuffers(impl, cfg.Arch)
+	end()
 
 	if cfg.Verify {
-		if err := netlist.Equivalent(rtlNet, impl, 8, 4, cfg.Seed+77); err != nil {
+		end = cfg.Trace.Stage("verify")
+		err := netlist.Equivalent(rtlNet, impl, 8, 4, cfg.Seed+77)
+		end()
+		if err != nil {
 			return nil, nil, flowErr(d, cfg, "verify", err)
 		}
 	}
@@ -285,11 +333,18 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	if cfg.Defects != nil {
 		popts.Blocked = cfg.Defects.Stuck
 	}
+	end = cfg.Trace.Stage("place")
 	prob, err := place.Build(impl, place.ArchArea(cfg.Arch), popts)
 	if err != nil {
+		end()
 		return nil, nil, flowErr(d, cfg, "place", err)
 	}
-	if err := prob.Anneal(place.Options{Seed: cfg.Seed, MovesPerObj: cfg.PlaceEffort, Ctx: ctx}); err != nil {
+	err = prob.Anneal(place.Options{
+		Seed: cfg.Seed, MovesPerObj: cfg.PlaceEffort, Ctx: ctx,
+		Trace: cfg.Trace.Anneal(),
+	})
+	end()
+	if err != nil {
 		if fe := ctxFlowErr(ctx, d, cfg); fe != nil {
 			return nil, nil, fe
 		}
@@ -297,7 +352,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	}
 
 	// Pre-layout timing for net weighting and the provisional clock.
+	end = cfg.Trace.Stage("sta")
 	pre, err := sta.Analyze(impl, cfg.Arch, nil, nil, sta.Options{ClockPeriod: cfg.ClockPeriod})
+	end()
 	if err != nil {
 		return nil, nil, flowErr(d, cfg, "sta", err)
 	}
@@ -306,15 +363,19 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 		clock = 1.2 * pre.MaxArrival
 	}
 	rep.ClockPeriod = clock
+	end = cfg.Trace.Stage("place")
 	for ni, w := range sta.NetWeights(impl, prob, pre, clock, 4) {
 		prob.SetNetWeight(ni, w)
 	}
 	prob.Refine(0.10, 3, cfg.Seed+3)
+	end()
 
 	// Flow b: pack into the regular PLB array.
 	if cfg.Flow == FlowB {
+		end = cfg.Trace.Stage("pack")
 		crit := sta.ObjCriticality(impl, prob, pre, clock)
 		pres, err := pack.Run(impl, cfg.Arch, prob, pack.Options{Seed: cfg.Seed, Criticality: crit})
+		end()
 		if err != nil {
 			return nil, nil, flowErr(d, cfg, "pack", err)
 		}
@@ -324,7 +385,10 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 		rep.Utilization = pres.Utilization()
 		rep.Perturbation = pres.Perturbation
 		// Via personalization of the packed fabric.
-		if vrep, err := viamap.FabricVias(impl, cfg.Arch); err == nil {
+		end = cfg.Trace.Stage("viamap")
+		vrep, err := viamap.FabricVias(impl, cfg.Arch)
+		end()
+		if err == nil {
 			rep.PopulatedVias = vrep.PopulatedVias
 			rep.ViaSitesPerPLB = vrep.PotentialPerPLB
 		} else {
@@ -339,11 +403,16 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 
 	// ASIC-style global routing over the array / core. Dead tracks and
 	// via faults from the defect map constrain the search graph.
-	ropts := route.Options{Ctx: ctx, CapacityScale: cfg.RouteCapacityScale, CellsScale: cfg.RouteCellsScale}
+	ropts := route.Options{
+		Ctx: ctx, CapacityScale: cfg.RouteCapacityScale, CellsScale: cfg.RouteCellsScale,
+		Trace: cfg.Trace.Route(),
+	}
 	if cfg.Defects != nil {
 		ropts.Faults = cfg.Defects
 	}
+	end = cfg.Trace.Stage("route")
 	routes, err := route.Route(prob, ropts)
+	end()
 	if err != nil {
 		if fe := ctxFlowErr(ctx, d, cfg); fe != nil {
 			return nil, nil, fe
@@ -356,7 +425,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	rep.Overflow = routes.Overflow
 
 	// Post-layout static timing.
+	end = cfg.Trace.Stage("sta")
 	post, err := sta.Analyze(impl, cfg.Arch, prob, routes, sta.Options{ClockPeriod: clock})
+	end()
 	if err != nil {
 		return nil, nil, flowErr(d, cfg, "sta", err)
 	}
@@ -365,10 +436,17 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	rep.MaxArrival = post.MaxArrival
 
 	// Post-layout power at the run's clock.
-	if pw, err := power.Estimate(impl, cfg.Arch, prob, routes, power.Options{ClockPS: clock}); err == nil {
+	end = cfg.Trace.Stage("power")
+	pw, err := power.Estimate(impl, cfg.Arch, prob, routes, power.Options{ClockPS: clock})
+	end()
+	if err == nil {
 		rep.PowerUW = pw.TotalUW
 	} else {
 		return nil, nil, flowErr(d, cfg, "power", err)
+	}
+	if cfg.Trace != nil {
+		rep.Stages = cfg.Trace.StageTimings()
+		rep.Solver = cfg.Trace.SolverMetrics()
 	}
 	rep.Runtime = time.Since(start)
 	return rep, art, nil

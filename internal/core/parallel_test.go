@@ -9,16 +9,12 @@ import (
 	"vpga/internal/bench"
 )
 
-// stripRuntime clears the only wall-clock-dependent report field so
-// reports can be compared across scheduling orders.
+// stripRuntime clears the wall-clock-dependent report fields so
+// reports can be compared across scheduling orders. It delegates to
+// the shared StripMetrics helper the determinism suite standardizes
+// on.
 func stripRuntime(m *Matrix) {
-	for _, byArch := range m.Reports {
-		for _, byFlow := range byArch {
-			for _, rep := range byFlow {
-				rep.Runtime = 0
-			}
-		}
-	}
+	m.StripMetrics()
 }
 
 // TestRunMatrixParallelDeterminism: for a fixed seed, the matrix must

@@ -116,13 +116,22 @@ func runFlowRepairWith(ctx context.Context, d bench.Design, cfg Config,
 		rep, err := run(ctx, d, acfg)
 		if err == nil {
 			attempts = append(attempts, rec)
+			cfg.Trace.Attempt(rec.Attempt, rec.Action, "")
 			rep.Attempts = attempts
 			rep.Escalations = attempt
+			if cfg.Trace != nil {
+				// The winning attempt's metrics were snapshotted inside
+				// RunFlow before this attempt event existed; refresh so the
+				// report sees the whole ladder (failed rungs included).
+				rep.Stages = cfg.Trace.StageTimings()
+				rep.Solver = cfg.Trace.SolverMetrics()
+			}
 			return rep, nil
 		}
 		lastErr = err
 		rec.Err = err.Error()
 		attempts = append(attempts, rec)
+		cfg.Trace.Attempt(rec.Attempt, rec.Action, rec.Err)
 		if ctx.Err() != nil || !repairable(err) {
 			break
 		}
@@ -133,7 +142,8 @@ func runFlowRepairWith(ctx context.Context, d bench.Design, cfg Config,
 		fe.Arch = cfg.Arch.Name
 	}
 	if ctx.Err() != nil {
-		if ctx.Err() == context.DeadlineExceeded {
+		// errors.Is, not ==: custom contexts may wrap the deadline error.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			fe.Stage = "timeout"
 		} else {
 			fe.Stage = "cancelled"

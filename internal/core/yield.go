@@ -10,6 +10,7 @@ import (
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/defect"
+	"vpga/internal/obs"
 )
 
 // YieldPoint is the outcome of one defect map in a yield sweep.
@@ -32,6 +33,9 @@ type YieldOptions struct {
 	RepairBudget int     // 0 = DefaultRepairBudget
 	Parallel     int     // 0 = GOMAXPROCS
 	Progress     func(string)
+	// Trace records every map's flow run (stage spans, solver counters,
+	// repair attempts); nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // YieldResult aggregates a defect-yield sweep over many maps.
@@ -67,9 +71,10 @@ func DefectYield(ctx context.Context, d bench.Design, arch *cells.PLBArch, opts 
 		Points: make([]YieldPoint, opts.Maps), Budget: budget}
 
 	var (
-		sem = make(chan struct{}, par)
-		mu  sync.Mutex
-		wg  sync.WaitGroup
+		sem    = make(chan struct{}, par)
+		mu     sync.Mutex // guards Points
+		progMu sync.Mutex // serializes Progress, independent of mu
+		wg     sync.WaitGroup
 	)
 	for i := 0; i < opts.Maps; i++ {
 		wg.Add(1)
@@ -81,10 +86,12 @@ func DefectYield(ctx context.Context, d bench.Design, arch *cells.PLBArch, opts 
 			dm := defect.New(seed, opts.Rate)
 			pt := YieldPoint{MapSeed: seed, Defects: dm.Counts()}
 			if ctx.Err() == nil {
+				run := opts.Trace.NewRun(fmt.Sprintf("%s/%s/map%d", d.Name, arch.Name, i))
 				rep, err := supervisedRun(ctx, d, Config{
 					Arch: arch, Flow: FlowB, Seed: opts.FlowSeed,
-					Defects: dm, RepairBudget: budget,
+					Defects: dm, RepairBudget: budget, Trace: run,
 				}, 0)
+				run.Close()
 				if err != nil {
 					pt.Err = err.Error()
 				} else {
@@ -98,15 +105,21 @@ func DefectYield(ctx context.Context, d bench.Design, arch *cells.PLBArch, opts 
 			}
 			mu.Lock()
 			res.Points[i] = pt
+			mu.Unlock()
+			// The Progress callback runs outside mu (progMu only orders
+			// concurrent lines), so a slow callback cannot stall workers
+			// storing their points.
 			if opts.Progress != nil {
 				status := "routed"
 				if !pt.Routed {
 					status = "FAILED"
 				}
-				opts.Progress(fmt.Sprintf("map %3d (seed %d): %d defects, %s after %d escalation(s)",
-					i, seed, pt.Defects.Total(), status, pt.Escalations))
+				line := fmt.Sprintf("map %3d (seed %d): %d defects, %s after %d escalation(s)",
+					i, seed, pt.Defects.Total(), status, pt.Escalations)
+				progMu.Lock()
+				opts.Progress(line)
+				progMu.Unlock()
 			}
-			mu.Unlock()
 		}(i)
 	}
 	wg.Wait()

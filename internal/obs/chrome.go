@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (chrome://tracing, Perfetto). Timestamps and durations are in
+// microseconds relative to the tracer epoch.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}
+
+// WriteChromeTrace emits the tracer's telemetry as a Chrome
+// trace-event JSON array: one complete ("X") event per run (solver
+// metrics in its args), one per stage span, one instant ("i") event
+// per repair attempt, plus thread-name metadata naming each worker
+// row. Load the file in chrome://tracing or https://ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte("[]\n"))
+		return err
+	}
+	runs := t.Runs()
+	var events []chromeEvent
+
+	rows := map[int]bool{}
+	for _, r := range runs {
+		rows[r.Worker()] = true
+	}
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "vpga flow"},
+	})
+	for row := range rows {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: row,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", row)},
+		})
+	}
+
+	for _, r := range runs {
+		r.mu.Lock()
+		start, end, closed := r.start, r.end, r.closed
+		spans := append([]Span(nil), r.spans...)
+		attempts := append([]AttemptEvent(nil), r.attempts...)
+		r.mu.Unlock()
+		if !closed {
+			end = r.tr.since()
+		}
+		sm := r.SolverMetrics()
+		events = append(events, chromeEvent{
+			Name: r.Label(), Cat: "run", Ph: "X",
+			Ts: usec(start), Dur: usec(end - start), Pid: 1, Tid: r.Worker(),
+			Args: map[string]any{
+				"anneal_passes":        sm.AnnealPasses,
+				"anneal_proposed":      sm.AnnealProposed,
+				"anneal_accepted":      sm.AnnealAccepted,
+				"anneal_final_cost":    sm.AnnealFinalCost,
+				"route_iterations":     sm.RouteIterations,
+				"route_best_iteration": sm.RouteBestIteration,
+				"route_overflows":      sm.RouteOverflows,
+				"repair_attempts":      sm.RepairAttempts,
+			},
+		})
+		for _, s := range spans {
+			events = append(events, chromeEvent{
+				Name: s.Stage, Cat: "stage", Ph: "X",
+				Ts: usec(s.Start), Dur: usec(s.Dur), Pid: 1, Tid: r.Worker(),
+				Args: map[string]any{"run": r.Label()},
+			})
+		}
+		for _, a := range attempts {
+			name := fmt.Sprintf("attempt %d: %s", a.Attempt, a.Action)
+			args := map[string]any{"run": r.Label()}
+			if a.Err != "" {
+				args["error"] = a.Err
+			}
+			events = append(events, chromeEvent{
+				Name: name, Cat: "repair", Ph: "i",
+				Ts: usec(a.At), Pid: 1, Tid: r.Worker(), S: "t",
+				Args: args,
+			})
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ph == "M" != (events[j].Ph == "M") {
+			return events[i].Ph == "M"
+		}
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		return events[i].Tid < events[j].Tid
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A nil tracer, nil run, and the nil solver traces they hand out must
+// all be safe no-ops: that is the whole contract that keeps the flow
+// hot paths free when tracing is off.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	run := tr.NewRun("nothing")
+	if run != nil {
+		t.Fatalf("nil tracer produced a run")
+	}
+	end := run.Stage("place")
+	end()
+	run.Attempt(1, "reseed", "boom")
+	run.Close()
+	run.Close()
+	at := run.Anneal()
+	if at != nil {
+		t.Fatalf("nil run produced an anneal trace")
+	}
+	at.Pass(1.0, 100, 40)
+	at.Final(42)
+	rt := run.Route()
+	if rt != nil {
+		t.Fatalf("nil run produced a route trace")
+	}
+	rt.Iteration(7)
+	rt.Best(1)
+	if got := run.StageTimings(); got != nil {
+		t.Fatalf("nil run StageTimings = %v", got)
+	}
+	if got := run.SolverMetrics(); got != nil {
+		t.Fatalf("nil run SolverMetrics = %v", got)
+	}
+	if got := tr.StageTotals(); got != nil {
+		t.Fatalf("nil tracer StageTotals = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer WriteChromeTrace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("nil tracer trace is not valid JSON: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("nil tracer trace has %d events, want 0", len(events))
+	}
+	_ = tr.SummaryTable() // must not panic
+}
+
+func TestStageTimingsAggregate(t *testing.T) {
+	tr := NewTracer()
+	run := tr.NewRun("ALU/arch/flow a")
+	end := run.Stage("route")
+	time.Sleep(time.Millisecond)
+	end()
+	end = run.Stage("place")
+	end()
+	end = run.Stage("route")
+	end()
+	run.Close()
+
+	st := run.StageTimings()
+	if len(st) != 2 {
+		t.Fatalf("got %d stages, want 2: %+v", len(st), st)
+	}
+	// Canonical flow order puts place before route regardless of the
+	// order the spans were recorded in.
+	if st[0].Stage != "place" || st[1].Stage != "route" {
+		t.Fatalf("stage order = %q,%q; want place,route", st[0].Stage, st[1].Stage)
+	}
+	if st[1].Count != 2 {
+		t.Fatalf("route count = %d, want 2", st[1].Count)
+	}
+	if st[1].Dur < time.Millisecond {
+		t.Fatalf("route total %v < slept 1ms", st[1].Dur)
+	}
+	if totals := tr.StageTotals(); len(totals) != 2 {
+		t.Fatalf("tracer totals: %+v", totals)
+	}
+	sum := tr.SummaryTable()
+	for _, want := range []string{"place", "route", "1 run(s)"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary table missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestSolverMetricsSnapshot(t *testing.T) {
+	tr := NewTracer()
+	run := tr.NewRun("r")
+	at := run.Anneal()
+	at.Pass(10.0, 100, 40)
+	at.Pass(9.0, 100, 30)
+	at.Final(123.5)
+	rt := run.Route()
+	rt.Iteration(17)
+	rt.Iteration(4)
+	rt.Iteration(0)
+	rt.Best(3)
+	run.Attempt(1, "reseed", "route: overflow")
+	run.Close()
+
+	m := run.SolverMetrics()
+	if m.AnnealPasses != 2 || m.AnnealProposed != 200 || m.AnnealAccepted != 70 {
+		t.Fatalf("anneal metrics = %+v", m)
+	}
+	if m.AnnealFinalCost != 123.5 {
+		t.Fatalf("final cost = %v", m.AnnealFinalCost)
+	}
+	if m.RouteIterations != 3 || m.RouteBestIteration != 3 {
+		t.Fatalf("route metrics = %+v", m)
+	}
+	if len(m.RouteOverflows) != 3 || m.RouteOverflows[2] != 0 {
+		t.Fatalf("overflow trajectory = %v", m.RouteOverflows)
+	}
+	if m.RepairAttempts != 1 {
+		t.Fatalf("repair attempts = %d", m.RepairAttempts)
+	}
+}
+
+// Worker rows come from a free list: sequential runs share row 0,
+// concurrent runs get distinct rows, and a released row is reused by
+// the next run — so the Chrome trace has one row per pool slot.
+func TestWorkerRowReuse(t *testing.T) {
+	tr := NewTracer()
+	a := tr.NewRun("a")
+	if a.Worker() != 0 {
+		t.Fatalf("first run on row %d, want 0", a.Worker())
+	}
+	b := tr.NewRun("b")
+	if b.Worker() != 1 {
+		t.Fatalf("concurrent second run on row %d, want 1", b.Worker())
+	}
+	a.Close()
+	c := tr.NewRun("c")
+	if c.Worker() != 0 {
+		t.Fatalf("run after release on row %d, want reused 0", c.Worker())
+	}
+	b.Close()
+	c.Close()
+	d := tr.NewRun("d")
+	if d.Worker() != 0 {
+		t.Fatalf("all released: row %d, want smallest free 0", d.Worker())
+	}
+	d.Close()
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	run := tr.NewRun("FPU/granular-plb/flow b")
+	end := run.Stage("synth")
+	end()
+	end = run.Stage("route")
+	end()
+	run.Anneal().Pass(5, 10, 4)
+	run.Route().Iteration(0)
+	run.Route().Best(1)
+	run.Attempt(1, "widen-channels", "")
+	run.Close()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var events []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Dur  float64        `json:"dur"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var haveRun, haveSynth, haveRoute, haveAttempt, haveThread bool
+	for _, e := range events {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			haveThread = true
+		case e.Cat == "run" && e.Ph == "X":
+			haveRun = true
+			if e.Args["route_best_iteration"] != float64(1) {
+				t.Fatalf("run args = %v", e.Args)
+			}
+		case e.Cat == "stage" && e.Name == "synth":
+			haveSynth = true
+		case e.Cat == "stage" && e.Name == "route":
+			haveRoute = true
+		case e.Cat == "repair" && e.Ph == "i":
+			haveAttempt = true
+		}
+	}
+	if !haveRun || !haveSynth || !haveRoute || !haveAttempt || !haveThread {
+		t.Fatalf("missing events: run=%v synth=%v route=%v attempt=%v thread=%v",
+			haveRun, haveSynth, haveRoute, haveAttempt, haveThread)
+	}
+}

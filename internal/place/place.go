@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"vpga/internal/netlist"
+	"vpga/internal/obs"
 )
 
 // Obj is one placeable object: a configuration instance, flip-flop,
@@ -87,6 +88,11 @@ type Options struct {
 	// a run that completes without cancellation is bit-identical to one
 	// annealed without a context.
 	Ctx context.Context
+	// Trace, when set, records one event per temperature pass plus the
+	// final cost. Recording is observation only (never consulted by the
+	// schedule) and happens at pass boundaries, so the per-move hot
+	// loop is untouched and a nil trace costs one nil check per pass.
+	Trace *obs.AnnealTrace
 }
 
 // Build extracts the placement problem from a netlist. Objects are
@@ -400,6 +406,7 @@ func (p *Problem) Anneal(opts Options) error {
 				accepted++
 			}
 		}
+		opts.Trace.Pass(temp, moves, accepted)
 		rate := float64(accepted) / float64(moves)
 		// VPR-style schedule: cool slower near the critical acceptance
 		// region, shrink the window toward the target 44% acceptance.
@@ -419,6 +426,9 @@ func (p *Problem) Anneal(opts Options) error {
 		return err
 	}
 	p.Refine(0.05, 2, opts.Seed+13)
+	if opts.Trace != nil {
+		opts.Trace.Final(p.HPWL())
+	}
 	return nil
 }
 

@@ -1,0 +1,53 @@
+package place
+
+import (
+	"testing"
+
+	"vpga/internal/obs"
+)
+
+// Tracing must be pure observation: an anneal with a trace attached
+// produces a bit-identical placement to an untraced one, while the
+// trace's counters stay consistent with the problem's own stats.
+func TestAnnealTraceInvariance(t *testing.T) {
+	plain, _, _ := buildProblem(t, src, 5)
+	traced, _, _ := buildProblem(t, src, 5)
+
+	if err := plain.Anneal(Options{Seed: 5, MovesPerObj: 4}); err != nil {
+		t.Fatal(err)
+	}
+	at := &obs.AnnealTrace{}
+	if err := traced.Anneal(Options{Seed: 5, MovesPerObj: 4, Trace: at}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(plain.Objs) != len(traced.Objs) {
+		t.Fatal("object count diverged")
+	}
+	for i := range plain.Objs {
+		if plain.Objs[i].X != traced.Objs[i].X || plain.Objs[i].Y != traced.Objs[i].Y {
+			t.Fatalf("obj %d placed at (%v,%v) traced vs (%v,%v) untraced",
+				i, traced.Objs[i].X, traced.Objs[i].Y, plain.Objs[i].X, plain.Objs[i].Y)
+		}
+	}
+
+	passes, proposed, accepted, finalCost := at.Snapshot()
+	if len(passes) == 0 {
+		t.Fatal("no temperature passes recorded")
+	}
+	if proposed == 0 || accepted == 0 || accepted > proposed {
+		t.Fatalf("counter totals inconsistent: proposed=%d accepted=%d", proposed, accepted)
+	}
+	// Temperatures follow the cooling schedule: strictly decreasing.
+	for i := 1; i < len(passes); i++ {
+		if passes[i].Temp >= passes[i-1].Temp {
+			t.Fatalf("pass %d temperature %v did not cool from %v", i, passes[i].Temp, passes[i-1].Temp)
+		}
+	}
+	if finalCost <= 0 {
+		t.Fatalf("final cost %v not recorded", finalCost)
+	}
+	if got := traced.HPWL(); finalCost != got {
+		t.Fatalf("final cost %v != post-anneal HPWL %v", finalCost, got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"vpga/internal/obs"
 	"vpga/internal/place"
 )
 
@@ -68,6 +69,11 @@ type Options struct {
 	// nil never cancels. A run that completes without cancellation is
 	// bit-identical to one routed without a context.
 	Ctx context.Context
+	// Trace, when set, records the per-iteration overflow trajectory
+	// and the snapshotted best iteration. Observation only: it is never
+	// consulted by the negotiation, and a nil trace costs one nil check
+	// per iteration.
+	Trace *obs.RouteTrace
 }
 
 // RouteError identifies the failing net when routing cannot complete,
@@ -268,11 +274,13 @@ func (r *router) run() (*Result, error) {
 	// are rebuilt (not mutated) on reroute, so their headers are safely
 	// shared.
 	bestOver := -1
+	bestIter := 0
 	var bestHUse, bestVUse []int16
 	var bestNetEdges [][]edgeRef
 	var bestNetTrees []map[point][]point
 	snapshot := func(over int) {
 		bestOver = over
+		bestIter = iters
 		bestHUse = append(bestHUse[:0], r.hUse...)
 		bestVUse = append(bestVUse[:0], r.vUse...)
 		bestNetEdges = append(bestNetEdges[:0], r.netEdges...)
@@ -299,6 +307,7 @@ func (r *router) run() (*Result, error) {
 			rerouted++
 		}
 		over := r.totalOverflow()
+		r.opts.Trace.Iteration(over)
 		if bestOver < 0 || over < bestOver {
 			snapshot(over)
 		}
@@ -327,6 +336,7 @@ func (r *router) run() (*Result, error) {
 		copy(r.netEdges, bestNetEdges)
 		copy(r.netTrees, bestNetTrees)
 	}
+	r.opts.Trace.Best(bestIter)
 	return r.finish(iters)
 }
 

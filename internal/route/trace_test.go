@@ -1,0 +1,49 @@
+package route
+
+import (
+	"testing"
+
+	"vpga/internal/obs"
+)
+
+// Tracing must be pure observation: a traced route is bit-identical to
+// an untraced one, and the recorded trajectory is consistent with the
+// result.
+func TestRouteTraceInvariance(t *testing.T) {
+	prob := prepPlacement(t, src)
+	plain, err := Route(prob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &obs.RouteTrace{}
+	traced, err := Route(prob, Options{Trace: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Total != traced.Total || plain.Overflow != traced.Overflow || plain.Iterations != traced.Iterations {
+		t.Fatalf("traced result diverged: total %v/%v overflow %d/%d iters %d/%d",
+			traced.Total, plain.Total, traced.Overflow, plain.Overflow, traced.Iterations, plain.Iterations)
+	}
+
+	overflows, best := rt.Snapshot()
+	if len(overflows) != traced.Iterations {
+		t.Fatalf("recorded %d overflow samples for %d iterations", len(overflows), traced.Iterations)
+	}
+	if best < 1 || best > traced.Iterations {
+		t.Fatalf("best iteration %d outside [1,%d]", best, traced.Iterations)
+	}
+	// The best iteration holds the minimum of the trajectory, and the
+	// final result carries exactly that overflow.
+	min := overflows[0]
+	for _, o := range overflows {
+		if o < min {
+			min = o
+		}
+	}
+	if overflows[best-1] != min {
+		t.Fatalf("best iteration %d has overflow %d, trajectory minimum is %d", best, overflows[best-1], min)
+	}
+	if traced.Overflow != min {
+		t.Fatalf("result overflow %d != best recorded %d", traced.Overflow, min)
+	}
+}

@@ -19,6 +19,13 @@ import (
 // SetupPS is the flip-flop setup time (ps).
 const SetupPS = 50
 
+// unconstrained is the required-time sentinel seeding the backward
+// pass: a node still holding it after propagation has no timing
+// constraint in its fanout cone. Comparisons use unconstrained/10 as
+// the threshold so accumulated subtractions along a path cannot slip a
+// genuinely unconstrained node under an exact equality check.
+const unconstrained = 1e18
+
 // Options configures the analysis.
 type Options struct {
 	// ClockPeriod is the timing target in ps.
@@ -184,27 +191,48 @@ func Analyze(nl *netlist.Netlist, arch *cells.PLBArch, prob *place.Problem, rout
 		}
 	}
 
-	// Endpoints: PO pads and DFF D pins.
+	// Endpoints: PO pads and DFF D pins. An endpoint whose data cone
+	// contains no timed element — a pad fed straight from a primary
+	// input or constant, a register latching one, or a fanin-less node —
+	// carries no meaningful constraint: its "slack" is just the clock
+	// period, and letting it into the top-K pool dilutes AvgTopSlack
+	// with astronomically optimistic figures.
 	type endpoint struct {
-		id      netlist.NodeID
-		arrival float64
-		slack   float64
+		id           netlist.NodeID
+		arrival      float64
+		slack        float64
+		noConstraint bool
+	}
+	passthrough := func(n *netlist.Node) bool {
+		if len(n.Fanins) == 0 {
+			return true
+		}
+		src := nl.Node(n.Fanins[0])
+		return src.Kind == netlist.KindInput || src.Kind == netlist.KindConst
 	}
 	var eps []endpoint
 	maxArr := 0.0
 	for _, n := range nl.Nodes() {
 		switch n.Kind {
 		case netlist.KindOutput:
+			if len(n.Fanins) == 0 {
+				eps = append(eps, endpoint{id: n.ID, slack: opts.ClockPeriod, noConstraint: true})
+				continue
+			}
 			a := arrival[n.ID]
-			eps = append(eps, endpoint{n.ID, a, opts.ClockPeriod - a})
+			eps = append(eps, endpoint{n.ID, a, opts.ClockPeriod - a, passthrough(n)})
 			if a > maxArr {
 				maxArr = a
 			}
 		case netlist.KindDFF:
+			if len(n.Fanins) == 0 {
+				eps = append(eps, endpoint{id: n.ID, slack: opts.ClockPeriod - SetupPS, noConstraint: true})
+				continue
+			}
 			f := n.Fanins[0]
 			wd, _ := wireDelayCap(f, n.ID)
 			a := arrival[f] + wd
-			eps = append(eps, endpoint{n.ID, a, opts.ClockPeriod - SetupPS - a})
+			eps = append(eps, endpoint{n.ID, a, opts.ClockPeriod - SetupPS - a, passthrough(n)})
 			if a > maxArr {
 				maxArr = a
 			}
@@ -215,23 +243,38 @@ func Analyze(nl *netlist.Netlist, arch *cells.PLBArch, prob *place.Problem, rout
 	}
 	sort.Slice(eps, func(i, j int) bool { return eps[i].slack < eps[j].slack })
 
+	// Top-K selection over constrained endpoints only; a netlist with
+	// nothing but passthrough endpoints falls back to the full set so
+	// the report still carries a slack figure.
+	sel := eps[:0:0]
+	for _, ep := range eps {
+		if !ep.noConstraint {
+			sel = append(sel, ep)
+		}
+	}
+	if len(sel) == 0 {
+		sel = eps
+	}
+
 	rep := &Report{MaxArrival: maxArr, Arrival: arrival}
 	k := opts.TopK
-	if k > len(eps) {
-		k = len(eps)
+	if k > len(sel) {
+		k = len(sel)
 	}
 	sum := 0.0
 	for i := 0; i < k; i++ {
-		rep.TopSlacks = append(rep.TopSlacks, eps[i].slack)
-		sum += eps[i].slack
+		rep.TopSlacks = append(rep.TopSlacks, sel[i].slack)
+		sum += sel[i].slack
 	}
-	rep.WorstSlack = eps[0].slack
+	rep.WorstSlack = sel[0].slack
 	rep.AvgTopSlack = sum / float64(k)
 
-	// Per-node slack by backward propagation of required times.
+	// Per-node slack by backward propagation of required times, seeded
+	// with the named sentinel (not a bare magic number) so nodes whose
+	// fanout cone reaches no endpoint are recognizable below.
 	required := make([]float64, nl.NumNodes())
 	for i := range required {
-		required[i] = 1e18
+		required[i] = unconstrained
 	}
 	for _, ep := range eps {
 		n := nl.Node(ep.id)
@@ -251,6 +294,9 @@ func Analyze(nl *netlist.Netlist, arch *cells.PLBArch, prob *place.Problem, rout
 		n := nl.Node(id)
 		switch n.Kind {
 		case netlist.KindOutput, netlist.KindDFF:
+			if len(n.Fanins) == 0 {
+				continue
+			}
 			for _, f := range n.Fanins {
 				wd, _ := wireDelayCap(f, id)
 				if r := required[id] - wd; r < required[f] {
@@ -270,15 +316,15 @@ func Analyze(nl *netlist.Netlist, arch *cells.PLBArch, prob *place.Problem, rout
 	}
 	rep.Slack = make([]float64, nl.NumNodes())
 	for _, n := range nl.Nodes() {
-		if required[n.ID] >= 1e17 {
+		if required[n.ID] >= unconstrained/10 {
 			rep.Slack[n.ID] = opts.ClockPeriod
 			continue
 		}
 		rep.Slack[n.ID] = required[n.ID] - arrival[n.ID]
 	}
 
-	// Critical path walk from the worst endpoint.
-	cur := eps[0].id
+	// Critical path walk from the worst constrained endpoint.
+	cur := sel[0].id
 	var path []PathElem
 	for cur != netlist.Nil {
 		n := nl.Node(cur)
@@ -287,7 +333,7 @@ func Analyze(nl *netlist.Netlist, arch *cells.PLBArch, prob *place.Problem, rout
 			break // crossed into the launching register
 		}
 		next := worstFanin[cur]
-		if next == netlist.Nil && n.Kind == netlist.KindDFF {
+		if next == netlist.Nil && n.Kind == netlist.KindDFF && len(n.Fanins) > 0 {
 			next = n.Fanins[0]
 		}
 		cur = next

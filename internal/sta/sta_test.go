@@ -205,6 +205,68 @@ func TestNetWeightsAndCriticality(t *testing.T) {
 	}
 }
 
+// Endpoints with no timed element in their data cone (passthrough
+// PI→PO pads) must not dilute the top-K slack pool with their
+// clock-period "slacks".
+func TestUnconstrainedEndpointFiltered(t *testing.T) {
+	arch := cells.GranularPLB()
+	nl := netlist.New("passthrough")
+	a := nl.AddInput("a")
+	// One real path: 3 ND3 stages to a PO.
+	cur := a
+	for i := 0; i < 3; i++ {
+		cur = nl.AddGate("ND3", logic.TTNand2.Extend(3), cur, cur, cur)
+	}
+	nl.AddOutput("y", cur)
+	// Nine passthrough pads wired straight to the input: before the fix
+	// these flooded the top-10 pool with slack == clock period.
+	for i := 0; i < 9; i++ {
+		nl.AddOutput(nodeName("p", i), a)
+	}
+	rep, err := Analyze(nl, arch, nil, nil, Options{ClockPeriod: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TopSlacks) != 1 {
+		t.Fatalf("TopSlacks has %d entries, want only the constrained endpoint", len(rep.TopSlacks))
+	}
+	if d := rep.AvgTopSlack - rep.WorstSlack; d < -1e-9 || d > 1e-9 {
+		t.Fatalf("AvgTopSlack %v != the single constrained slack %v", rep.AvgTopSlack, rep.WorstSlack)
+	}
+	// The constrained endpoint's slack is well under the clock period;
+	// an unfiltered average would sit near 2000.
+	if rep.AvgTopSlack > 1950 {
+		t.Fatalf("AvgTopSlack %v still diluted by unconstrained endpoints", rep.AvgTopSlack)
+	}
+
+	// A netlist with only passthrough endpoints falls back to the full
+	// set instead of failing.
+	nl2 := netlist.New("allpass")
+	b := nl2.AddInput("b")
+	nl2.AddOutput("q", b)
+	rep2, err := Analyze(nl2, arch, nil, nil, Options{ClockPeriod: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.TopSlacks) != 1 || rep2.AvgTopSlack != 500 {
+		t.Fatalf("all-passthrough fallback: %+v", rep2)
+	}
+
+	// A register latching a primary input is equally unconstrained.
+	nl3 := netlist.New("ffpass")
+	c := nl3.AddInput("c")
+	ff := nl3.AddDFF("r", c)
+	g := nl3.AddGate("ND3", logic.TTNand2.Extend(3), ff, ff, ff)
+	nl3.AddOutput("z", g)
+	rep3, err := Analyze(nl3, arch, nil, nil, Options{ClockPeriod: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep3.TopSlacks) != 1 {
+		t.Fatalf("FF-passthrough not filtered: %d top slacks", len(rep3.TopSlacks))
+	}
+}
+
 func TestNoEndpointsError(t *testing.T) {
 	arch := cells.GranularPLB()
 	nl := netlist.New("empty")

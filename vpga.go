@@ -38,6 +38,7 @@ import (
 	"vpga/internal/defect"
 	"vpga/internal/logic"
 	"vpga/internal/netlist"
+	"vpga/internal/obs"
 	"vpga/internal/rtl"
 )
 
@@ -241,6 +242,30 @@ type YieldOptions = core.YieldOptions
 func DefectYield(ctx context.Context, d Design, arch *PLBArch, opts YieldOptions) (*YieldResult, error) {
 	return core.DefectYield(ctx, d, arch, opts)
 }
+
+// Observability.
+
+// Tracer collects flow traces: per-stage wall-time spans, solver
+// counters (annealer passes, router negotiation iterations) and repair
+// attempts, across any number of concurrent runs. Attach one to
+// MatrixOptions.Trace or YieldOptions.Trace, or create per-run handles
+// with NewRun for Config.Trace. A nil Tracer (and a nil run handle) is
+// valid everywhere and records nothing.
+type Tracer = obs.Tracer
+
+// TraceRun is the per-flow-run trace handle carried by Config.Trace.
+type TraceRun = obs.Run
+
+// StageTiming is an aggregated per-stage wall-time entry of a traced
+// run (Report.Stages, Matrix.StageTotals).
+type StageTiming = obs.StageTiming
+
+// SolverMetrics carries the solver counters of a traced run
+// (Report.Solver).
+type SolverMetrics = obs.SolverMetrics
+
+// NewTracer returns an empty Tracer ready for concurrent use.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Artifacts carries the physical results (netlist, placement, packing,
 // routing) of a flow run for tools needing more than the report.
