@@ -1,0 +1,122 @@
+package vpga
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// apiSurface renders every exported declaration of the vpga package as
+// one sorted line per symbol — the package's public API in diffable
+// form.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse package: %v", err)
+	}
+	pkg, ok := pkgs["vpga"]
+	if !ok {
+		t.Fatalf("package vpga not found (got %v)", pkgs)
+	}
+
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := (&printer.Config{Mode: printer.UseSpaces}).Fprint(&buf, fset, node); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		// One line per symbol: collapse any multi-line rendering.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue
+				}
+				sig := *d
+				sig.Body, sig.Doc = nil, nil
+				lines = append(lines, render(&sig))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							cp := *sp
+							cp.Doc, cp.Comment = nil, nil
+							lines = append(lines, "type "+render(&cp))
+						}
+					case *ast.ValueSpec:
+						cp := *sp
+						cp.Doc, cp.Comment = nil, nil
+						exported := false
+						for _, n := range cp.Names {
+							exported = exported || n.IsExported()
+						}
+						if exported {
+							lines = append(lines, fmt.Sprintf("%s %s", d.Tok, render(&cp)))
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// TestAPISurface locks the exported API of package vpga against
+// api.txt. An intentional API change regenerates the golden file with
+//
+//	VPGA_UPDATE_API=1 go test -run TestAPISurface .
+//
+// so the diff shows up in review; an accidental one fails here.
+func TestAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	const golden = "api.txt"
+	if os.Getenv("VPGA_UPDATE_API") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d symbols)", golden, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with VPGA_UPDATE_API=1 go test -run TestAPISurface .)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	in := func(list []string, s string) bool {
+		i := sort.SearchStrings(list, s)
+		return i < len(list) && list[i] == s
+	}
+	var diff []string
+	for _, l := range wl {
+		if l != "" && !in(gl, l) {
+			diff = append(diff, "- "+l)
+		}
+	}
+	for _, l := range gl {
+		if l != "" && !in(wl, l) {
+			diff = append(diff, "+ "+l)
+		}
+	}
+	t.Fatalf("exported API surface drifted from %s:\n%s\n\nIf intentional: VPGA_UPDATE_API=1 go test -run TestAPISurface .",
+		golden, strings.Join(diff, "\n"))
+}

@@ -78,13 +78,7 @@ func main() {
 		tracer = obs.NewTracer()
 		path := *traceFile
 		flushTrace = func() {
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "paper: trace: %v\n", err)
-				return
-			}
-			defer f.Close()
-			if err := tracer.WriteChromeTrace(f); err != nil {
+			if err := tracer.WriteChromeTraceFile(path); err != nil {
 				fmt.Fprintf(os.Stderr, "paper: trace: %v\n", err)
 				return
 			}
@@ -152,8 +146,10 @@ func main() {
 		for i := 0; i < *seeds; i++ {
 			list = append(list, *seed+int64(i))
 		}
-		st, err := core.StabilityStudy(ctx, suite, list, *effort, *parallel,
-			func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
+		st, err := core.RunStabilityStudy(ctx, suite, list, core.StabilityOptions{
+			PlaceEffort: *effort, Parallel: *parallel, Trace: tracer,
+			Progress: func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
+		})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -224,9 +220,10 @@ func main() {
 		if *scale == "paper" {
 			fir = bench.FIR(32, 16)
 		}
-		results, err := core.DomainExplore(ctx,
+		results, err := core.RunDomainExplore(ctx,
 			[]bench.Design{suite.ALU, suite.Firewire, fir},
-			core.DefaultSweepArchs(), *seed)
+			core.DefaultSweepArchs(),
+			core.SweepOptions{Seed: *seed, Parallel: *parallel, Trace: tracer})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -234,7 +231,8 @@ func main() {
 	}
 
 	if *routing {
-		pts, err := core.RoutingSweep(ctx, suite.ALU, cells.GranularPLB(), []int{4, 8, 16, 32, 64}, *seed)
+		pts, err := core.RunRoutingSweep(ctx, suite.ALU, cells.GranularPLB(), []int{4, 8, 16, 32, 64},
+			core.SweepOptions{Seed: *seed, Trace: tracer})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -243,7 +241,8 @@ func main() {
 
 	if *sweep {
 		fmt.Println("Granularity sweep (E8): ALU across PLB architectures")
-		pts, err := core.GranularitySweep(ctx, suite.ALU, core.DefaultSweepArchs(), *seed)
+		pts, err := core.RunGranularitySweep(ctx, suite.ALU, core.DefaultSweepArchs(),
+			core.SweepOptions{Seed: *seed, Parallel: *parallel, Trace: tracer})
 		if err != nil {
 			fatalf("%v", err)
 		}

@@ -1,0 +1,84 @@
+// Command vpgad serves the VPGA flow engine over HTTP/JSON: flow runs,
+// the Table 1/2 matrix, and the exploration sweeps, all behind a
+// content-addressed report cache (an identical request is answered from
+// the cache with a byte-identical report, without re-running the flow).
+//
+// Endpoints:
+//
+//	POST /v1/runs               one flow run (core.FlowRequest JSON)
+//	POST /v1/matrix             the Table 1/2 benchmark matrix
+//	POST /v1/sweeps/granularity the PLB-granularity sweep
+//	POST /v1/sweeps/routing     the routing-capacity sweep
+//	GET  /v1/runs/{id}          job status / result
+//	GET  /v1/runs/{id}/trace    Chrome trace-event JSON of the job
+//	GET  /healthz               liveness + queue stats
+//	GET  /metrics               Prometheus text metrics
+//
+// POST endpoints accept ?wait=1 to block until the job finishes;
+// without it they return 202 with a job id to poll. A full queue
+// answers 429 with Retry-After. SIGINT/SIGTERM drain gracefully:
+// running jobs finish (up to -drain), new work is refused with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vpga/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	workers := flag.Int("workers", 0, "flow worker pool size (0 = all cores)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 2x workers); a full queue answers 429")
+	cacheSize := flag.Int("cache", 256, "content-addressed report cache capacity (entries)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock budget (0 = none)")
+	jobsKeep := flag.Int("jobs-keep", 64, "completed job records (and traces) retained for polling")
+	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
+	flag.Parse()
+
+	s := server.New(server.Options{
+		Workers: *workers, QueueDepth: *queue, CacheSize: *cacheSize,
+		JobTimeout: *jobTimeout, JobsKeep: *jobsKeep,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "vpgad: listening on http://%s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatalf("%v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Fprintf(os.Stderr, "vpgad: draining (budget %s)\n", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the job queue first so /healthz reports draining while
+	// in-flight flows finish, then close the HTTP listener.
+	if err := s.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vpgad: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "vpgad: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "vpgad: stopped")
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vpgad: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,6 +7,16 @@
 //	         [-scale test|paper] [-seed N] [-effort N] [-clock PS]
 //	         [-verify] [-skip-compaction] [-trace out.json]
 //	vpgaflow -rtl file.v -arch granular -flow b     # custom RTL input
+//	vpgaflow -request run.json                      # serialized FlowRequest
+//	vpgaflow -print-request [flags]                 # canonical JSON + cache key
+//
+// -request runs a core.FlowRequest from a JSON file ('-' for stdin) —
+// the same document POST /v1/runs accepts, so a request can be
+// developed locally and then submitted to vpgad unchanged.
+// -print-request skips the run and prints the canonical (normalized)
+// encoding of the request plus its content-address cache key; combined
+// with the ordinary flags it converts a flag invocation into a service
+// request.
 //
 // -trace writes a Chrome trace-event JSON of the run (stage spans,
 // solver counters, repair attempts; open in chrome://tracing or
@@ -15,8 +25,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
@@ -44,6 +56,8 @@ func main() {
 	defectRate := flag.Float64("defect-rate", 0, "inject a defect map at this rate per fabric tile (runs the repair ladder)")
 	defectSeed := flag.Int64("defect-seed", 100, "defect-map seed")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file and a per-stage summary to stderr")
+	requestFile := flag.String("request", "", "run a serialized core.FlowRequest from this JSON file ('-' for stdin) instead of the flow flags")
+	printRequest := flag.Bool("print-request", false, "print the request's canonical JSON and cache key instead of running it")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -51,6 +65,51 @@ func main() {
 	if *timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *requestFile != "" || *printRequest {
+		var req core.FlowRequest
+		if *requestFile != "" {
+			req = readRequest(*requestFile)
+		} else {
+			// Convert the flag invocation into a service request.
+			req = core.FlowRequest{
+				Design: *design, Scale: *scale,
+				Arch: core.ArchSpec{Kind: *archName}, Flow: *flowName,
+				Seed: *seed, ClockPeriod: *clock, PlaceEffort: *effort,
+				SkipCompaction: *skipCompact, Verify: *verify,
+				DefectRate: *defectRate,
+			}
+			if *rtlFile != "" {
+				src, err := os.ReadFile(*rtlFile)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				req.Design = ""
+				req.RTL, req.Name = string(src), *rtlFile
+			}
+			if *defectRate > 0 {
+				req.DefectSeed = *defectSeed
+			}
+		}
+		if *floorplan != "" || *netlistOut != "" {
+			fatalf("-floorplan/-netlist are unavailable with -request/-print-request")
+		}
+		if *printRequest {
+			key, err := req.CacheKey()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			enc, err := json.MarshalIndent(req.Normalize(), "", "  ")
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("%s\n", enc)
+			fmt.Fprintf(os.Stderr, "cache key: %s\n", key)
+			return
+		}
+		runRequest(ctx, req, *traceFile)
+		return
 	}
 
 	var arch *cells.PLBArch
@@ -124,14 +183,9 @@ func main() {
 	}
 	cfg.Trace.Close()
 	if tracer != nil {
-		f, ferr := os.Create(*traceFile)
-		if ferr != nil {
-			fatalf("trace: %v", ferr)
-		}
-		if werr := tracer.WriteChromeTrace(f); werr != nil {
+		if werr := tracer.WriteChromeTraceFile(*traceFile); werr != nil {
 			fatalf("trace: %v", werr)
 		}
-		f.Close()
 		fmt.Fprint(os.Stderr, tracer.SummaryTable())
 		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
 	}
@@ -163,6 +217,50 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+}
+
+// readRequest loads a serialized FlowRequest ('-' = stdin), strictly:
+// unknown fields are rejected, like the service endpoint does.
+func readRequest(path string) core.FlowRequest {
+	var src io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	dec := json.NewDecoder(src)
+	dec.DisallowUnknownFields()
+	var req core.FlowRequest
+	if err := dec.Decode(&req); err != nil {
+		fatalf("request %s: %v", path, err)
+	}
+	return req
+}
+
+// runRequest executes a FlowRequest exactly as vpgad would.
+func runRequest(ctx context.Context, req core.FlowRequest, traceFile string) {
+	var tracer *obs.Tracer
+	var run *obs.Run
+	if traceFile != "" {
+		tracer = obs.NewTracer()
+		n := req.Normalize()
+		run = tracer.NewRun(n.Design + n.Name + "/" + n.Arch.Kind + "/flow " + n.Flow)
+	}
+	rep, err := core.RunRequest(ctx, req, run)
+	run.Close()
+	if tracer != nil {
+		if werr := tracer.WriteChromeTraceFile(traceFile); werr != nil {
+			fatalf("trace: %v", werr)
+		}
+		fmt.Fprint(os.Stderr, tracer.SummaryTable())
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printReport(rep)
 }
 
 func printReport(r *core.Report) {

@@ -26,7 +26,7 @@ func main() {
 	clock := 0.0
 	for _, arch := range []*vpga.PLBArch{vpga.GranularPLB(), vpga.LUTPLB()} {
 		for _, flow := range []vpga.FlowKind{vpga.FlowA, vpga.FlowB} {
-			rep, err := vpga.Run(context.Background(), design, vpga.Options{
+			rep, err := vpga.Run(context.Background(), design, vpga.Config{
 				Arch: arch, Flow: flow, ClockPeriod: clock, Seed: 4,
 			})
 			if err != nil {

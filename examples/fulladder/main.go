@@ -51,7 +51,7 @@ func main() {
 	// the slacks are comparable.
 	clock := 0.0
 	for _, arch := range []*vpga.PLBArch{gran, lut} {
-		rep, err := vpga.Run(context.Background(), design, vpga.Options{Arch: arch, Flow: vpga.FlowB, ClockPeriod: clock, Seed: 2, Verify: true})
+		rep, err := vpga.Run(context.Background(), design, vpga.Config{Arch: arch, Flow: vpga.FlowB, ClockPeriod: clock, Seed: 2, Verify: true})
 		if err != nil {
 			log.Fatal(err)
 		}

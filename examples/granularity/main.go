@@ -30,7 +30,7 @@ func main() {
 	}
 
 	fmt.Printf("=== Logic block granularity sweep on %s ===\n\n", design.Name)
-	points, err := vpga.GranularitySweep(context.Background(), design, vpga.DefaultSweepArchs(), 8)
+	points, err := vpga.RunGranularitySweep(context.Background(), design, vpga.DefaultSweepArchs(), vpga.SweepOptions{Seed: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

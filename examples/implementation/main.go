@@ -22,7 +22,7 @@ func main() {
 	flag.Parse()
 
 	design := vpga.FIR(8, 8)
-	rep, art, err := vpga.RunFull(context.Background(), design, vpga.Options{
+	rep, art, err := vpga.RunFull(context.Background(), design, vpga.Config{
 		Arch: vpga.GranularPLB(), Flow: vpga.FlowB, Seed: 7, Verify: true,
 	})
 	if err != nil {

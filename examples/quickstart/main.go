@@ -34,7 +34,7 @@ func main() {
 
 	// Full implementation flow onto the granular PLB array (flow b).
 	design := vpga.Design{Name: "quick", RTL: src, Datapath: true}
-	rep, err := vpga.Run(context.Background(), design, vpga.Options{
+	rep, err := vpga.Run(context.Background(), design, vpga.Config{
 		Arch:   vpga.GranularPLB(),
 		Flow:   vpga.FlowB,
 		Seed:   1,

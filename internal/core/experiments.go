@@ -599,16 +599,51 @@ type SweepPoint struct {
 	UsedPLBs    int
 }
 
-// GranularitySweep runs one design across a family of PLB
+// SweepOptions parameterizes the exploration drivers (granularity and
+// routing sweeps, domain exploration). It replaces their former
+// positional seed arguments: one struct carries the seed, the worker
+// bound, and an optional tracer, and gains new knobs without another
+// signature change. The zero value is valid — seed 0, all cores, no
+// tracing.
+type SweepOptions struct {
+	Seed int64
+	// Parallel bounds concurrently executing flow runs where the driver
+	// parallelizes (0 = GOMAXPROCS, 1 = sequential). Results are
+	// bit-identical at any setting.
+	Parallel int
+	// Trace, when set, records every sweep run's stage spans and solver
+	// counters (see internal/obs). Tracing never changes results.
+	Trace *obs.Tracer
+}
+
+// workers resolves the worker bound.
+func (o SweepOptions) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// GranularitySweep is the deprecated positional-seed form of
+// RunGranularitySweep.
+//
+// Deprecated: use RunGranularitySweep with SweepOptions.
+func GranularitySweep(ctx context.Context, d bench.Design, archs []*cells.PLBArch, seed int64) ([]SweepPoint, error) {
+	return RunGranularitySweep(ctx, d, archs, SweepOptions{Seed: seed})
+}
+
+// RunGranularitySweep runs one design across a family of PLB
 // architectures of increasing granularity (experiment E8). The first
 // architecture pins the clock period; the remaining points then run
-// concurrently (bounded by GOMAXPROCS) with deterministic results.
-func GranularitySweep(ctx context.Context, d bench.Design, archs []*cells.PLBArch, seed int64) ([]SweepPoint, error) {
+// concurrently (bounded by opts.Parallel) with deterministic results.
+func RunGranularitySweep(ctx context.Context, d bench.Design, archs []*cells.PLBArch, opts SweepOptions) ([]SweepPoint, error) {
 	if len(archs) == 0 {
 		return nil, nil
 	}
 	point := func(arch *cells.PLBArch, clock float64) (SweepPoint, float64, error) {
-		rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: seed})
+		run := opts.Trace.NewRun("sweep/" + d.Name + "/" + arch.Name)
+		rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: opts.Seed, Trace: run})
+		run.Close()
 		if err != nil {
 			return SweepPoint{}, 0, fmt.Errorf("sweep %s: %w", arch.Name, err)
 		}
@@ -627,7 +662,7 @@ func GranularitySweep(ctx context.Context, d bench.Design, archs []*cells.PLBArc
 	out[0] = first
 
 	var (
-		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
+		sem      = make(chan struct{}, opts.workers())
 		mu       sync.Mutex
 		firstErr error
 		wg       sync.WaitGroup

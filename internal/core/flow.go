@@ -163,6 +163,35 @@ func (r *Report) StripMetrics() {
 	r.Solver = nil
 }
 
+// Clone deep-copies the report — maps, slices and the solver block
+// included — so a stored report (the service's content-addressed
+// cache) and the copies served from it can never alias a caller's
+// mutations.
+func (r *Report) Clone() *Report {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	if r.ConfigCounts != nil {
+		cp.ConfigCounts = make(map[string]int, len(r.ConfigCounts))
+		for k, v := range r.ConfigCounts {
+			cp.ConfigCounts[k] = v
+		}
+	}
+	if r.Stages != nil {
+		cp.Stages = append([]obs.StageTiming(nil), r.Stages...)
+	}
+	if r.Solver != nil {
+		s := *r.Solver
+		s.RouteOverflows = append([]int(nil), r.Solver.RouteOverflows...)
+		cp.Solver = &s
+	}
+	if r.Attempts != nil {
+		cp.Attempts = append([]AttemptRecord(nil), r.Attempts...)
+	}
+	return &cp
+}
+
 // Reclock shifts the report's slack figures to a different clock
 // period. Slack differences between endpoints are clock-independent,
 // so the top-10 set and its ordering remain valid.

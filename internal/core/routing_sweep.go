@@ -21,14 +21,26 @@ type RoutingPoint struct {
 	AvgTopSlack float64
 }
 
-// RoutingSweep explores the fabric's routing architecture — the
+// RoutingSweep is the deprecated positional-seed form of
+// RunRoutingSweep.
+//
+// Deprecated: use RunRoutingSweep with SweepOptions.
+func RoutingSweep(ctx context.Context, d bench.Design, arch *cells.PLBArch, capacities []int, seed int64) ([]RoutingPoint, error) {
+	return RunRoutingSweep(ctx, d, arch, capacities, SweepOptions{Seed: seed})
+}
+
+// RunRoutingSweep explores the fabric's routing architecture — the
 // paper's closing future work ("future work will also focus on
 // exploring regular routing architectures for the VPGA fabric"): the
 // design is placed and packed once, then routed under a range of
 // per-channel track capacities, reporting congestion, detour cost and
-// post-layout timing at each point.
-func RoutingSweep(ctx context.Context, d bench.Design, arch *cells.PLBArch, capacities []int, seed int64) ([]RoutingPoint, error) {
-	rep, art, err := RunFlowFull(ctx, d, Config{Arch: arch, Flow: FlowB, Seed: seed})
+// post-layout timing at each point. The capacity points share one
+// placement problem, so they route sequentially; opts.Parallel has no
+// effect here.
+func RunRoutingSweep(ctx context.Context, d bench.Design, arch *cells.PLBArch, capacities []int, opts SweepOptions) ([]RoutingPoint, error) {
+	run := opts.Trace.NewRun("routing/" + d.Name + "/" + arch.Name)
+	defer run.Close()
+	rep, art, err := RunFlowFull(ctx, d, Config{Arch: arch, Flow: FlowB, Seed: opts.Seed, Trace: run})
 	if err != nil {
 		return nil, err
 	}

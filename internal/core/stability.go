@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"vpga/internal/bench"
+	"vpga/internal/obs"
 )
 
 // ClaimStats aggregates the derived claims over several seeds: mean,
@@ -37,14 +38,43 @@ func claimVector(c Claims) ([]float64, []string) {
 		}
 }
 
-// StabilityStudy runs the full matrix once per seed and aggregates the
-// claims. Seeds run one after another; each matrix parallelizes
+// StabilityOptions parameterizes RunStabilityStudy. It surfaces what
+// used to be hidden positional tail arguments (effort, parallel,
+// progress) as named fields; the zero value is valid.
+type StabilityOptions struct {
+	// PlaceEffort scales annealing moves per object (0 = default).
+	PlaceEffort int
+	// Parallel bounds each matrix's concurrent flow runs (0 =
+	// GOMAXPROCS). Results are bit-identical at any setting.
+	Parallel int
+	// Progress, when non-nil, receives one line per completed matrix
+	// cell, in canonical order.
+	Progress func(string)
+	// Trace records every matrix run across all seeds.
+	Trace *obs.Tracer
+}
+
+// StabilityStudy is the deprecated positional form of
+// RunStabilityStudy.
+//
+// Deprecated: use RunStabilityStudy with StabilityOptions.
+func StabilityStudy(ctx context.Context, suite bench.Suite, seeds []int64, effort, parallel int, progress func(string)) (*ClaimStats, error) {
+	return RunStabilityStudy(ctx, suite, seeds, StabilityOptions{
+		PlaceEffort: effort, Parallel: parallel, Progress: progress,
+	})
+}
+
+// RunStabilityStudy runs the full matrix once per seed and aggregates
+// the claims. Seeds run one after another; each matrix parallelizes
 // internally up to the parallel bound (0 = GOMAXPROCS), which keeps
 // the worker pool saturated without oversubscribing it.
-func StabilityStudy(ctx context.Context, suite bench.Suite, seeds []int64, effort, parallel int, progress func(string)) (*ClaimStats, error) {
+func RunStabilityStudy(ctx context.Context, suite bench.Suite, seeds []int64, opts StabilityOptions) (*ClaimStats, error) {
 	st := &ClaimStats{Seeds: seeds}
 	for _, seed := range seeds {
-		m, err := RunMatrix(ctx, suite, MatrixOptions{Seed: seed, PlaceEffort: effort, Parallel: parallel, Progress: progress})
+		m, err := RunMatrix(ctx, suite, MatrixOptions{
+			Seed: seed, PlaceEffort: opts.PlaceEffort, Parallel: opts.Parallel,
+			Progress: opts.Progress, Trace: opts.Trace,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("seed %d: %w", seed, err)
 		}

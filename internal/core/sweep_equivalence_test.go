@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"vpga/internal/bench"
+	"vpga/internal/cells"
+)
+
+// The deprecated positional sweep entry points must stay bit-identical
+// to the SweepOptions forms they wrap, and the options forms must be
+// deterministic across parallel widths.
+
+func equivalenceArchs() []*cells.PLBArch {
+	return []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()}
+}
+
+func asJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	enc, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestGranularitySweepEquivalence(t *testing.T) {
+	ctx := context.Background()
+	d := bench.ALU(8)
+	old, err := GranularitySweep(ctx, d, equivalenceArchs(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 4} {
+		got, err := RunGranularitySweep(ctx, d, equivalenceArchs(), SweepOptions{Seed: 11, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(asJSON(t, old), asJSON(t, got)) {
+			t.Errorf("RunGranularitySweep(parallel=%d) differs from deprecated GranularitySweep", parallel)
+		}
+	}
+}
+
+func TestDomainExploreEquivalence(t *testing.T) {
+	ctx := context.Background()
+	domains := []bench.Design{bench.ALU(8), bench.FIR(4, 4)}
+	old, err := DomainExplore(ctx, domains, equivalenceArchs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 4} {
+		got, err := RunDomainExplore(ctx, domains, equivalenceArchs(), SweepOptions{Seed: 3, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(asJSON(t, old), asJSON(t, got)) {
+			t.Errorf("RunDomainExplore(parallel=%d) differs from deprecated DomainExplore", parallel)
+		}
+	}
+}
+
+func TestRoutingSweepEquivalence(t *testing.T) {
+	ctx := context.Background()
+	d := bench.ALU(8)
+	arch := cells.GranularPLB()
+	caps := []int{4, 16}
+	old, err := RoutingSweep(ctx, d, arch, caps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunRoutingSweep(ctx, d, arch, caps, SweepOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(asJSON(t, old), asJSON(t, got)) {
+		t.Error("RunRoutingSweep differs from deprecated RoutingSweep")
+	}
+}
+
+func TestStabilityStudyEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix-per-seed study in -short mode")
+	}
+	ctx := context.Background()
+	suite := bench.TestSuite()
+	seeds := []int64{1}
+	old, err := StabilityStudy(ctx, suite, seeds, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunStabilityStudy(ctx, suite, seeds, StabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(asJSON(t, old), asJSON(t, got)) {
+		t.Error("RunStabilityStudy differs from deprecated StabilityStudy")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"time"
 )
@@ -112,4 +113,19 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// WriteChromeTraceFile writes the Chrome trace to path, creating or
+// truncating the file. A close error is reported so a full disk does
+// not pass silently.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"vpga/internal/bench"
+	"vpga/internal/cells"
+	"vpga/internal/core"
+	"vpga/internal/defect"
+	"vpga/internal/obs"
+)
+
+// MatrixRequest is the serializable description of one Table 1/2
+// matrix run (POST /v1/matrix). Like core.FlowRequest it carries only
+// result-bearing knobs; Parallel is execution state and is excluded
+// from the cache key because matrix reports are bit-identical at any
+// worker count.
+type MatrixRequest struct {
+	// Scale sizes the benchmark suite: "test" (default) or "paper".
+	Scale       string `json:"scale,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+	PlaceEffort int    `json:"place_effort,omitempty"`
+	Parallel    int    `json:"parallel,omitempty"`
+	// ContinueOnError keeps the matrix going past failing cells; the
+	// failures come back in MatrixResult.Errors.
+	ContinueOnError bool `json:"continue_on_error,omitempty"`
+	// DefectRate > 0 injects a seeded defect map into every cell and
+	// runs defective cells through the repair ladder.
+	DefectRate   float64 `json:"defect_rate,omitempty"`
+	DefectSeed   int64   `json:"defect_seed,omitempty"`
+	RepairBudget int     `json:"repair_budget,omitempty"`
+}
+
+func (r MatrixRequest) normalize() MatrixRequest {
+	if r.Scale == "" {
+		r.Scale = "test"
+	}
+	if r.DefectRate <= 0 {
+		r.DefectRate, r.DefectSeed, r.RepairBudget = 0, 0, 0
+	} else if r.RepairBudget == 0 {
+		r.RepairBudget = core.DefaultRepairBudget
+	}
+	return r
+}
+
+func (r MatrixRequest) validate() error {
+	if r.Scale != "" && r.Scale != "test" && r.Scale != "paper" {
+		return fmt.Errorf("unknown scale %q (want test or paper)", r.Scale)
+	}
+	if r.DefectRate < 0 || r.DefectRate >= 1 {
+		return fmt.Errorf("defect_rate %g outside [0,1)", r.DefectRate)
+	}
+	return nil
+}
+
+// cacheKey is the request's content address; the Parallel knob is
+// zeroed first because it never changes the result.
+func (r MatrixRequest) cacheKey() (string, error) {
+	n := r.normalize()
+	n.Parallel = 0
+	return core.CanonicalKey("matrix", n)
+}
+
+func (r MatrixRequest) suite() bench.Suite {
+	if r.normalize().Scale == "paper" {
+		return bench.PaperSuite()
+	}
+	return bench.TestSuite()
+}
+
+// MatrixResult is the matrix job payload: every populated report
+// (metrics stripped, so the payload is deterministic and cacheable),
+// the rendered paper tables and derived claims when the matrix is
+// complete, and the error ledger when it is not.
+type MatrixResult struct {
+	Reports map[string]map[string]map[string]*core.Report `json:"reports"`
+	Errors  []string                                      `json:"errors,omitempty"`
+	Table1  string                                        `json:"table1,omitempty"`
+	Table2  string                                        `json:"table2,omitempty"`
+	Claims  *core.Claims                                  `json:"claims,omitempty"`
+}
+
+// handleMatrix serves POST /v1/matrix.
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := req.cacheKey()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n := req.normalize()
+	j := s.newJob("matrix", key, "matrix/"+n.Scale, func(ctx context.Context, tr *obs.Tracer) (any, error) {
+		opts := core.MatrixOptions{
+			Seed: n.Seed, PlaceEffort: n.PlaceEffort, Parallel: req.Parallel,
+			ContinueOnError: n.ContinueOnError, RepairBudget: n.RepairBudget,
+			Trace: tr,
+		}
+		if n.DefectRate > 0 {
+			opts.Defects = defect.New(n.DefectSeed, n.DefectRate)
+		}
+		m, err := core.RunMatrix(ctx, req.suite(), opts)
+		if err != nil {
+			return nil, err
+		}
+		// Strip wall-clock metrics so the payload depends only on the
+		// request: the fresh response and every later cache hit serve
+		// byte-identical matrices.
+		m.StripMetrics()
+		res := MatrixResult{Reports: m.Reports}
+		for _, fe := range m.Errors {
+			res.Errors = append(res.Errors, fe.Error())
+		}
+		if len(m.Errors) == 0 {
+			res.Table1 = m.Table1()
+			res.Table2 = m.Table2()
+			claims := m.DeriveClaims()
+			res.Claims = &claims
+		}
+		return res, nil
+	})
+	s.dispatch(w, r, j)
+}
+
+// SweepRequest is the serializable description of an exploration
+// sweep (POST /v1/sweeps/granularity, POST /v1/sweeps/routing). The
+// design block mirrors core.FlowRequest: a named benchmark at a scale,
+// or inline RTL under a display name.
+type SweepRequest struct {
+	Design string `json:"design,omitempty"`
+	Scale  string `json:"scale,omitempty"`
+	RTL    string `json:"rtl,omitempty"`
+	Name   string `json:"name,omitempty"`
+
+	Seed     int64 `json:"seed,omitempty"`
+	Parallel int   `json:"parallel,omitempty"`
+
+	// Archs is the granularity sweep's architecture family (empty =
+	// the standard DefaultSweepArchs family).
+	Archs []core.ArchSpec `json:"archs,omitempty"`
+	// Arch and Capacities belong to the routing sweep (defaults:
+	// granular PLB; tracks 4, 8, 16, 32, 64).
+	Arch       *core.ArchSpec `json:"arch,omitempty"`
+	Capacities []int          `json:"capacities,omitempty"`
+}
+
+func (r SweepRequest) normalize() SweepRequest {
+	if r.RTL != "" {
+		r.Scale = ""
+		if r.Name == "" {
+			r.Name = "inline"
+		}
+	} else {
+		r.Name = ""
+		if r.Scale == "" {
+			r.Scale = "test"
+		}
+	}
+	if len(r.Archs) > 0 {
+		// Copy before normalizing: the slice aliases the caller's request.
+		archs := make([]core.ArchSpec, len(r.Archs))
+		for i := range r.Archs {
+			archs[i] = r.Archs[i].Normalize()
+		}
+		r.Archs = archs
+	}
+	if r.Arch != nil {
+		a := r.Arch.Normalize()
+		r.Arch = &a
+	}
+	return r
+}
+
+// cacheKey content-addresses the sweep under its endpoint's namespace;
+// Parallel is execution state and excluded.
+func (r SweepRequest) cacheKey(namespace string) (string, error) {
+	n := r.normalize()
+	n.Parallel = 0
+	return core.CanonicalKey(namespace, n)
+}
+
+func (r SweepRequest) resolveDesign() (bench.Design, error) {
+	n := r.normalize()
+	return core.ResolveDesign(n.Design, n.Scale, n.RTL, n.Name)
+}
+
+// handleGranularitySweep serves POST /v1/sweeps/granularity.
+func (s *Server) handleGranularitySweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := req.resolveDesign()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	archs := core.DefaultSweepArchs()
+	if len(req.Archs) > 0 {
+		archs = make([]*cells.PLBArch, len(req.Archs))
+		for i, spec := range req.Archs {
+			if archs[i], err = spec.Resolve(); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+	}
+	key, err := req.cacheKey("sweep/granularity")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := s.newJob("sweep/granularity", key, "sweep/"+d.Name, func(ctx context.Context, tr *obs.Tracer) (any, error) {
+		return core.RunGranularitySweep(ctx, d, archs, core.SweepOptions{
+			Seed: req.Seed, Parallel: req.Parallel, Trace: tr,
+		})
+	})
+	s.dispatch(w, r, j)
+}
+
+// handleRoutingSweep serves POST /v1/sweeps/routing.
+func (s *Server) handleRoutingSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := req.resolveDesign()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := core.ArchSpec{}
+	if req.Arch != nil {
+		spec = *req.Arch
+	}
+	arch, err := spec.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	capacities := req.Capacities
+	if len(capacities) == 0 {
+		capacities = []int{4, 8, 16, 32, 64}
+	}
+	for _, c := range capacities {
+		if c < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("capacity %d < 1", c))
+			return
+		}
+	}
+	key, err := req.cacheKey("sweep/routing")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := s.newJob("sweep/routing", key, "routing/"+d.Name, func(ctx context.Context, tr *obs.Tracer) (any, error) {
+		return core.RunRoutingSweep(ctx, d, arch, capacities, core.SweepOptions{
+			Seed: req.Seed, Parallel: req.Parallel, Trace: tr,
+		})
+	})
+	s.dispatch(w, r, j)
+}

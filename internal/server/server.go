@@ -1,0 +1,501 @@
+// Package server is the VPGA flow service: an HTTP/JSON daemon that
+// exposes the implementation flow, the Table 1/2 matrix and the
+// exploration sweeps as declarative, serializable requests
+// (core.FlowRequest and friends) instead of language-level call
+// signatures.
+//
+//	POST /v1/runs                one flow run (repair ladder optional)
+//	POST /v1/matrix              the 4-design x 2-arch x 2-flow matrix
+//	POST /v1/sweeps/granularity  PLB-architecture family sweep
+//	POST /v1/sweeps/routing      per-channel track-capacity sweep
+//	GET  /v1/runs/{id}           job status / result
+//	GET  /v1/runs/{id}/trace     Chrome trace-event JSON of the job
+//	GET  /healthz                liveness + queue stats
+//	GET  /metrics                Prometheus text metrics
+//
+// Every run-shaped result is memoized in a bounded LRU cache keyed by
+// the request's content address (FlowRequest.CacheKey): flows are
+// seed-deterministic by construction, so a cache hit returns a report
+// bit-identical (after StripMetrics) to a fresh run. Jobs execute on
+// a bounded worker pool behind a bounded queue — a full queue answers
+// 429 with Retry-After instead of blocking — with per-job timeouts
+// through the flow's context plumbing, and Shutdown drains gracefully.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vpga/internal/core"
+	"vpga/internal/obs"
+)
+
+// Options configures a Server. The zero value serves with GOMAXPROCS
+// workers, a 2x-workers queue, a 256-entry cache, no per-job timeout
+// and 64 retained job records.
+type Options struct {
+	// Workers bounds concurrently executing jobs (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; a full
+	// queue rejects submissions with 429 (0 = 2*Workers).
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache (0 = 256).
+	CacheSize int
+	// JobTimeout bounds each job's wall time through the flow's context
+	// plumbing; an expired job fails with stage "timeout" (0 = none).
+	JobTimeout time.Duration
+	// JobsKeep bounds retained completed-job records — status and trace
+	// of older jobs are evicted, oldest first (0 = 64). The result
+	// cache is unaffected by job eviction.
+	JobsKeep int
+
+	// testJobStart, when set by a test, runs at the top of every job on
+	// its worker goroutine — tests block here to hold jobs "running"
+	// and fill the queue deterministically.
+	testJobStart func(j *job)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 2 * o.Workers
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 256
+	}
+	if o.JobsKeep <= 0 {
+		o.JobsKeep = 64
+	}
+	return o
+}
+
+// job is one queued unit of work: a closure over its resolved request
+// plus the bookkeeping the status and trace endpoints serve.
+type job struct {
+	id      string
+	kind    string // "run", "matrix", "sweep/granularity", "sweep/routing"
+	key     string // content address ("" = uncacheable)
+	label   string
+	tracer  *obs.Tracer
+	created time.Time
+	// exec runs the job; cachePrep converts its result into the
+	// immutable value stored in the cache (nil = store as returned).
+	exec      func(ctx context.Context, tr *obs.Tracer) (any, error)
+	cachePrep func(any) any
+
+	done chan struct{} // closed when the job reaches done/failed
+
+	mu     sync.Mutex
+	status string // "queued", "running", "done", "failed"
+	result any
+	errMsg string
+	stage  string // failing flow stage, when known
+}
+
+func (j *job) setStatus(s string) {
+	j.mu.Lock()
+	j.status = s
+	j.mu.Unlock()
+}
+
+// complete records the outcome and wakes waiters.
+func (j *job) complete(result any, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.status = "failed"
+		j.errMsg = err.Error()
+		var fe *core.FlowError
+		if errors.As(err, &fe) {
+			j.stage = fe.Stage
+		}
+	} else {
+		j.status = "done"
+		j.result = result
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// response snapshots the job as its API representation.
+func (j *job) response() jobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobResponse{
+		ID: j.id, Kind: j.kind, Status: j.status, Key: j.key,
+		Result: j.result, Error: j.errMsg, Stage: j.stage,
+	}
+}
+
+// jobResponse is the envelope of every job-shaped endpoint. Result is
+// kind-specific: *core.Report for runs, MatrixResult for matrices,
+// []core.SweepPoint / []core.RoutingPoint for sweeps.
+type jobResponse struct {
+	ID     string `json:"id,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+	Key    string `json:"key,omitempty"`
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Stage  string `json:"stage,omitempty"`
+}
+
+// Server is the flow service. Create with New, serve with any
+// http.Server (it implements http.Handler), stop with Shutdown.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	cache *lru
+	queue chan *job
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string // completed jobs, oldest first, for eviction
+	draining  bool
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	nextID  atomic.Int64
+	start   time.Time
+
+	// Metrics counters (atomic; surfaced by /metrics).
+	reqTotal, cacheHits, cacheMisses atomic.Int64
+	rejected, completed, failed      atomic.Int64
+	running                          atomic.Int64
+}
+
+// New starts a Server: its worker pool runs until Shutdown.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		cache:   newLRU(opts.CacheSize),
+		queue:   make(chan *job, opts.QueueDepth),
+		jobs:    make(map[string]*job),
+		baseCtx: ctx,
+		cancel:  cancel,
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
+	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	s.mux.HandleFunc("POST /v1/sweeps/granularity", s.handleGranularitySweep)
+	s.mux.HandleFunc("POST /v1/sweeps/routing", s.handleRoutingSweep)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the service: no new submissions are accepted (503),
+// queued and running jobs finish, then the worker pool exits. If ctx
+// expires first, in-flight flow runs are cancelled at their next
+// iteration boundary and Shutdown still waits for the pool before
+// returning ctx's error. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker executes queued jobs until the queue closes on drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	j.setStatus("running")
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	if s.opts.testJobStart != nil {
+		s.opts.testJobStart(j)
+	}
+	ctx := s.baseCtx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
+	res, err := j.exec(ctx, j.tracer)
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+		if j.key != "" {
+			v := res
+			if j.cachePrep != nil {
+				v = j.cachePrep(res)
+			}
+			s.cache.put(j.key, v)
+		}
+	}
+	j.complete(res, err)
+	s.retire(j)
+}
+
+// retire enforces the completed-job retention bound: job records —
+// status and tracer — beyond Options.JobsKeep are evicted oldest
+// first. The result cache keeps serving evicted jobs' results.
+func (s *Server) retire(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.opts.JobsKeep {
+		old := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.jobs, old)
+	}
+}
+
+// newJob allocates a job record.
+func (s *Server) newJob(kind, key, label string, exec func(context.Context, *obs.Tracer) (any, error)) *job {
+	return &job{
+		id:      fmt.Sprintf("j%06d", s.nextID.Add(1)),
+		kind:    kind,
+		key:     key,
+		label:   label,
+		tracer:  obs.NewTracer(),
+		created: time.Now(),
+		exec:    exec,
+		done:    make(chan struct{}),
+		status:  "queued",
+	}
+}
+
+// submit enqueues a job with explicit backpressure: a full queue is a
+// 429 with Retry-After, a draining server a 503 — submissions never
+// block a worker or the caller.
+func (s *Server) submit(j *job) (status int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return http.StatusServiceUnavailable, errors.New("server is draining")
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		return 0, nil
+	default:
+		s.rejected.Add(1)
+		return http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d pending); retry later", cap(s.queue))
+	}
+}
+
+// decodeJSON strictly decodes a bounded request body.
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, jobResponse{Status: "rejected", Error: err.Error()})
+}
+
+// wantWait reports whether the request asked to block until the job
+// completes (?wait=1 / ?wait=true).
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// dispatch is the tail every submission endpoint shares: cache lookup,
+// enqueue with backpressure, and the synchronous-wait option.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, j *job) {
+	if v, ok := s.cache.get(j.key); ok {
+		s.cacheHits.Add(1)
+		if rep, isReport := v.(*core.Report); isReport {
+			v = rep.Clone() // never hand the cached report itself to encoders
+		}
+		writeJSON(w, http.StatusOK, jobResponse{
+			Kind: j.kind, Status: "done", Cached: true, Key: j.key, Result: v,
+		})
+		return
+	}
+	s.cacheMisses.Add(1)
+	if status, err := s.submit(j); err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "2")
+		}
+		writeError(w, status, err)
+		return
+	}
+	if wantWait(r) {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			// Client gone; the job keeps running. Report where it stands.
+		}
+	}
+	resp := j.response()
+	status := http.StatusAccepted
+	if resp.Status == "done" || resp.Status == "failed" {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleRun serves POST /v1/runs: one flow run described by a
+// canonical core.FlowRequest.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req core.FlowRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := req.CacheKey()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n := req.Normalize()
+	label := n.Design + n.Name + "/" + n.Arch.Kind + "/flow " + n.Flow
+	j := s.newJob("run", key, label, func(ctx context.Context, tr *obs.Tracer) (any, error) {
+		run := tr.NewRun(label)
+		defer run.Close()
+		return core.RunRequest(ctx, req, run)
+	})
+	// Cache a metrics-stripped deep clone: wall-clock artifacts are
+	// execution state, not content, and the cache must never alias a
+	// report already handed to a response encoder.
+	j.cachePrep = func(v any) any {
+		rep := v.(*core.Report).Clone()
+		rep.StripMetrics()
+		return rep
+	}
+	s.dispatch(w, r, j)
+}
+
+// handleStatus serves GET /v1/runs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown or evicted job id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.response())
+}
+
+// handleTrace serves GET /v1/runs/{id}/trace: the job's Chrome
+// trace-event JSON (chrome://tracing, ui.perfetto.dev).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown or evicted job id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := j.tracer.WriteChromeTrace(w); err != nil {
+		// Headers are gone; nothing useful left to do but log-free bail.
+		return
+	}
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.opts.Workers,
+		"queue_depth":    len(s.queue),
+		"queue_capacity": cap(s.queue),
+		"jobs_running":   s.running.Load(),
+		"cache_entries":  s.cache.len(),
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	gauge := func(name string, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name string, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("vpgad_requests_total", "HTTP requests received", s.reqTotal.Load())
+	counter("vpgad_cache_hits_total", "submissions served from the content-addressed cache", s.cacheHits.Load())
+	counter("vpgad_cache_misses_total", "submissions that required a fresh job", s.cacheMisses.Load())
+	counter("vpgad_jobs_rejected_total", "submissions rejected by queue backpressure", s.rejected.Load())
+	counter("vpgad_jobs_completed_total", "jobs that finished successfully", s.completed.Load())
+	counter("vpgad_jobs_failed_total", "jobs that finished in error", s.failed.Load())
+	gauge("vpgad_jobs_running", "jobs executing right now", s.running.Load())
+	gauge("vpgad_queue_depth", "jobs queued but not yet running", int64(len(s.queue)))
+	gauge("vpgad_queue_capacity", "queue bound before 429 backpressure", int64(cap(s.queue)))
+	gauge("vpgad_workers", "worker pool size", int64(s.opts.Workers))
+	gauge("vpgad_cache_entries", "live content-addressed cache entries", int64(s.cache.len()))
+	fmt.Fprintf(w, "# HELP vpgad_uptime_seconds seconds since the daemon started\n# TYPE vpgad_uptime_seconds gauge\nvpgad_uptime_seconds %s\n",
+		strconv.FormatFloat(time.Since(s.start).Seconds(), 'f', 3, 64))
+}

@@ -19,10 +19,20 @@
 // Quick start:
 //
 //	design := vpga.ALU(16)
-//	report, err := vpga.Run(design, vpga.Options{
+//	report, err := vpga.Run(design, vpga.Config{
 //	    Arch: vpga.GranularPLB(),
 //	    Flow: vpga.FlowB,
 //	})
+//
+// For serialization — scripted runs, the vpgad service, the
+// content-addressed report cache — describe the run declaratively
+// instead and let the system resolve it:
+//
+//	report, err := vpga.RunRequest(ctx, vpga.FlowRequest{
+//	    Design: "alu",
+//	    Arch:   vpga.ArchSpec{Kind: "granular"},
+//	    Seed:   7,
+//	}, nil)
 //
 // See examples/ for runnable programs and DESIGN.md for the system
 // inventory.
@@ -52,11 +62,10 @@ type PLBArch = cells.PLBArch
 // XOAMX, XOANDMX, LUT, FA, FF).
 type PLBConfig = cells.Config
 
-// Config (an alias of the flow configuration) parameterizes one run.
+// Config parameterizes one flow run: architecture, flow kind, seed,
+// effort, defect map, tracing. It is the resolved, in-memory form; the
+// serializable counterpart is FlowRequest.
 type Config = core.Config
-
-// Options is a friendlier name for Config in user code.
-type Options = core.Config
 
 // Report carries every figure of merit from a flow run.
 type Report = core.Report
@@ -94,6 +103,25 @@ func CustomPLB(name string, nMux, nXoa, nNand, nLut, nFF int) *PLBArch {
 // context.Background() when no cancellation is needed.
 func Run(ctx context.Context, d Design, cfg Config) (*Report, error) {
 	return core.RunFlow(ctx, d, cfg)
+}
+
+// FlowRequest is the canonical, JSON-serializable description of one
+// flow run: a named benchmark or inline RTL, an ArchSpec, the flow
+// kind, the seed and every other result-bearing knob. Its normalized
+// canonical encoding content-addresses the vpgad report cache
+// (FlowRequest.CacheKey); two requests that mean the same run share
+// one key regardless of JSON field order or omitted defaults.
+type FlowRequest = core.FlowRequest
+
+// ArchSpec is the serializable counterpart of a PLBArch: kind
+// "granular", "lut", or "custom" with slot counts.
+type ArchSpec = core.ArchSpec
+
+// RunRequest resolves and executes a FlowRequest under the flow
+// supervisor (panic isolation; the repair ladder when the request
+// injects defects). trace optionally records the run; nil is valid.
+func RunRequest(ctx context.Context, req FlowRequest, trace *TraceRun) (*Report, error) {
+	return core.RunRequest(ctx, req, trace)
 }
 
 // Compile parses and elaborates RTL source (the dialect documented in
@@ -156,9 +184,22 @@ func Fig2Text() string { return core.Fig2Text() }
 // SweepPoint is one granularity-sweep sample.
 type SweepPoint = core.SweepPoint
 
+// SweepOptions configures the exploration sweeps: the flow seed, the
+// parallel worker width (0 = all cores; results are bit-identical at
+// any width) and an optional Tracer.
+type SweepOptions = core.SweepOptions
+
+// RunGranularitySweep runs a design across a family of PLB
+// architectures.
+func RunGranularitySweep(ctx context.Context, d Design, archs []*PLBArch, opts SweepOptions) ([]SweepPoint, error) {
+	return core.RunGranularitySweep(ctx, d, archs, opts)
+}
+
 // GranularitySweep runs a design across a family of PLB architectures.
+//
+// Deprecated: use RunGranularitySweep, which accepts SweepOptions.
 func GranularitySweep(ctx context.Context, d Design, archs []*PLBArch, seed int64) ([]SweepPoint, error) {
-	return core.GranularitySweep(ctx, d, archs, seed)
+	return core.RunGranularitySweep(ctx, d, archs, SweepOptions{Seed: seed})
 }
 
 // DefaultSweepArchs returns the standard granularity family.
@@ -188,29 +229,57 @@ func FIR(taps, width int) Design { return bench.FIR(taps, width) }
 // ClaimStats aggregates the derived claims over several seeds.
 type ClaimStats = core.ClaimStats
 
-// StabilityStudy runs the Table 1/2 matrix once per seed and reports
-// mean/min/max of every headline claim. Each matrix parallelizes
-// across all cores; results are seed-deterministic.
+// StabilityOptions configures RunStabilityStudy: placement effort,
+// parallel width, a per-matrix progress callback and an optional
+// Tracer.
+type StabilityOptions = core.StabilityOptions
+
+// RunStabilityStudy runs the Table 1/2 matrix once per seed and
+// reports mean/min/max of every headline claim. Results are
+// seed-deterministic at any parallel width.
+func RunStabilityStudy(ctx context.Context, s Suite, seeds []int64, opts StabilityOptions) (*ClaimStats, error) {
+	return core.RunStabilityStudy(ctx, s, seeds, opts)
+}
+
+// StabilityStudy runs the Table 1/2 matrix once per seed.
+//
+// Deprecated: use RunStabilityStudy, which accepts StabilityOptions.
 func StabilityStudy(ctx context.Context, s Suite, seeds []int64, effort int) (*ClaimStats, error) {
-	return core.StabilityStudy(ctx, s, seeds, effort, 0, nil)
+	return core.RunStabilityStudy(ctx, s, seeds, StabilityOptions{PlaceEffort: effort})
 }
 
 // DomainResult reports per-domain architecture comparisons.
 type DomainResult = core.DomainResult
 
-// DomainExplore finds the best PLB architecture per application
+// RunDomainExplore finds the best PLB architecture per application
 // domain (the paper's Sec. 4 future work).
+func RunDomainExplore(ctx context.Context, domains []Design, archs []*PLBArch, opts SweepOptions) ([]DomainResult, error) {
+	return core.RunDomainExplore(ctx, domains, archs, opts)
+}
+
+// DomainExplore finds the best PLB architecture per application
+// domain.
+//
+// Deprecated: use RunDomainExplore, which accepts SweepOptions.
 func DomainExplore(ctx context.Context, domains []Design, archs []*PLBArch, seed int64) ([]DomainResult, error) {
-	return core.DomainExplore(ctx, domains, archs, seed)
+	return core.RunDomainExplore(ctx, domains, archs, SweepOptions{Seed: seed})
 }
 
 // RoutingPoint is one sample of the routing-architecture sweep.
 type RoutingPoint = core.RoutingPoint
 
+// RunRoutingSweep routes a packed design under several per-channel
+// track capacities (the paper's routing-architecture future work).
+func RunRoutingSweep(ctx context.Context, d Design, arch *PLBArch, capacities []int, opts SweepOptions) ([]RoutingPoint, error) {
+	return core.RunRoutingSweep(ctx, d, arch, capacities, opts)
+}
+
 // RoutingSweep routes a packed design under several per-channel track
-// capacities (the paper's routing-architecture future work).
+// capacities.
+//
+// Deprecated: use RunRoutingSweep, which accepts SweepOptions.
 func RoutingSweep(ctx context.Context, d Design, arch *PLBArch, capacities []int, seed int64) ([]RoutingPoint, error) {
-	return core.RoutingSweep(ctx, d, arch, capacities, seed)
+	return core.RunRoutingSweep(ctx, d, arch, capacities, SweepOptions{Seed: seed})
 }
 
 // Defect-aware fabric (yield experiments).

@@ -38,7 +38,7 @@ func TestPublicAPISmoke(t *testing.T) {
 }
 
 func TestPublicAPIRunFlow(t *testing.T) {
-	rep, err := Run(context.Background(), ALU(8), Options{Arch: GranularPLB(), Flow: FlowB, Seed: 3, Verify: true})
+	rep, err := Run(context.Background(), ALU(8), Config{Arch: GranularPLB(), Flow: FlowB, Seed: 3, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
