@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race bench qor-baseline qor-diff
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the key benchmarks and refresh the machine-readable trajectory
+# point (BENCH_5.json). BENCH_TIME=200ms make bench for a quick pass.
+bench:
+	scripts/bench.sh
+
+# Regenerate the committed QoR baseline from a fresh gate run.
+qor-baseline:
+	$(GO) run ./cmd/vpgaflow qor baseline -out qor/baseline.json
+
+# Drift-gate the current tree against the committed baseline.
+qor-diff:
+	$(GO) run ./cmd/vpgaflow qor diff -v

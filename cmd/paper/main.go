@@ -36,12 +36,14 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/core"
 	"vpga/internal/obs"
+	"vpga/internal/qor"
 )
 
 // flushTrace, when tracing is on, writes the Chrome trace file and the
@@ -71,6 +73,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of every flow run to this file and a per-stage summary to stderr")
+	ledgerPath := flag.String("ledger", "", "append one QoR record per completed matrix cell to this JSONL run ledger")
 	flag.Parse()
 
 	var tracer *obs.Tracer
@@ -171,6 +174,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		printLedger(matrix)
+		appendMatrixLedger(*ledgerPath, matrix, *seed)
 		fmt.Fprintf(os.Stderr, "matrix completed in %s\n\n", time.Since(start).Round(time.Second))
 	}
 	complete := matrix == nil || len(matrix.Errors) == 0
@@ -265,6 +269,36 @@ func main() {
 		}
 		fmt.Println(res.Table())
 	}
+}
+
+// appendMatrixLedger appends one QoR record per populated matrix cell
+// to the run ledger. Matrix cells are clock-pinned across flows, not
+// request-shaped, so the records carry no cache key.
+func appendMatrixLedger(path string, m *core.Matrix, seed int64) {
+	if path == "" || m == nil {
+		return
+	}
+	var recs []qor.Record
+	for _, archs := range m.Reports {
+		for _, flows := range archs {
+			for _, rep := range flows {
+				if rep != nil {
+					recs = append(recs, qor.FromReport(rep, seed, ""))
+				}
+			}
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID() < recs[j].ID() })
+	now := time.Now()
+	rev := qor.GitRev(".")
+	for i := range recs {
+		recs[i].Stamp(now, rev)
+	}
+	if err := qor.Append(path, recs...); err != nil {
+		fmt.Fprintf(os.Stderr, "paper: ledger: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "appended %d QoR record(s) to %s\n", len(recs), path)
 }
 
 // printLedger reports failed and skipped matrix cells on stderr.

@@ -11,8 +11,13 @@
 //	POST /v1/sweeps/routing     the routing-capacity sweep
 //	GET  /v1/runs/{id}          job status / result
 //	GET  /v1/runs/{id}/trace    Chrome trace-event JSON of the job
+//	GET  /v1/runs/{id}/events   live SSE stream of the job's telemetry
 //	GET  /healthz               liveness + queue stats
-//	GET  /metrics               Prometheus text metrics
+//	GET  /metrics               Prometheus text metrics + latency histograms
+//
+// -ledger appends one QoR record per completed run (and per matrix
+// cell) to a JSONL run ledger — the same format `vpgaflow qor diff`
+// gates against the committed baseline.
 //
 // POST endpoints accept ?wait=1 to block until the job finishes;
 // without it they return 202 with a job id to poll. A full queue
@@ -41,12 +46,13 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "content-addressed report cache capacity (entries)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock budget (0 = none)")
 	jobsKeep := flag.Int("jobs-keep", 64, "completed job records (and traces) retained for polling")
+	ledger := flag.String("ledger", "", "append a QoR record per completed run/matrix cell to this JSONL ledger")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
 	flag.Parse()
 
 	s := server.New(server.Options{
 		Workers: *workers, QueueDepth: *queue, CacheSize: *cacheSize,
-		JobTimeout: *jobTimeout, JobsKeep: *jobsKeep,
+		JobTimeout: *jobTimeout, JobsKeep: *jobsKeep, LedgerPath: *ledger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 

@@ -9,6 +9,13 @@
 //	vpgaflow -rtl file.v -arch granular -flow b     # custom RTL input
 //	vpgaflow -request run.json                      # serialized FlowRequest
 //	vpgaflow -print-request [flags]                 # canonical JSON + cache key
+//	vpgaflow qor run|baseline|diff [flags]          # QoR regression observatory
+//
+// The qor subcommands drive the regression observatory: `qor run`
+// appends gate-matrix records to a JSONL ledger, `qor baseline`
+// (re)writes the committed qor/baseline.json, and `qor diff` gates the
+// current tree against it, exiting 1 on drift (VPGA_UPDATE_BASELINE=1
+// refreshes the baseline instead).
 //
 // -request runs a core.FlowRequest from a JSON file ('-' for stdin) —
 // the same document POST /v1/runs accepts, so a request can be
@@ -40,6 +47,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "qor" {
+		qorMain(os.Args[2:])
+		return
+	}
 	design := flag.String("design", "alu", "benchmark: alu, firewire, fpu, switch")
 	rtlFile := flag.String("rtl", "", "compile this RTL file instead of a benchmark")
 	archName := flag.String("arch", "granular", "PLB architecture: granular or lut")

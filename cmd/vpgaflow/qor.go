@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"vpga/internal/obs"
+	"vpga/internal/qor"
+)
+
+// qorMain dispatches the `vpgaflow qor` subcommand family — the QoR
+// regression observatory:
+//
+//	vpgaflow qor run      run the gate matrix, append records to a ledger
+//	vpgaflow qor baseline run the gate matrix, (re)write qor/baseline.json
+//	vpgaflow qor diff     gate the current tree (or a ledger) against the baseline
+//
+// `qor diff` exits 1 on drift, so it slots directly into CI. Setting
+// VPGA_UPDATE_BASELINE=1 makes an intentional QoR change a one-command
+// refresh: the diff is still printed, but the baseline is rewritten
+// from the current records and the exit status is 0.
+func qorMain(args []string) {
+	if len(args) == 0 {
+		fatalf("qor: want a subcommand: run, baseline or diff")
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	switch args[0] {
+	case "run":
+		qorRun(ctx, args[1:])
+	case "baseline":
+		qorBaseline(ctx, args[1:])
+	case "diff":
+		qorDiff(ctx, args[1:])
+	default:
+		fatalf("qor: unknown subcommand %q (want run, baseline or diff)", args[0])
+	}
+}
+
+// gateFlags registers the gate-matrix knobs shared by every qor
+// subcommand.
+func gateFlags(fs *flag.FlagSet) *qor.GateOptions {
+	opts := &qor.GateOptions{}
+	fs.StringVar(&opts.Scale, "scale", "test", "benchmark scale: test or paper")
+	fs.Int64Var(&opts.Seed, "seed", 1, "flow seed for every gate cell")
+	fs.IntVar(&opts.PlaceEffort, "effort", 3, "placement effort for every gate cell")
+	fs.IntVar(&opts.Parallel, "parallel", 0, "concurrent gate cells (0 = all cores)")
+	return opts
+}
+
+// runGate executes the gate matrix with provenance stamped and an
+// optional Chrome trace written.
+func runGate(ctx context.Context, opts qor.GateOptions, traceFile string) []qor.Record {
+	var tracer *obs.Tracer
+	if traceFile != "" {
+		tracer = obs.NewTracer()
+		opts.Trace = tracer
+	}
+	opts.Now = time.Now()
+	opts.GitRev = qor.GitRev(".")
+	recs, err := qor.RunGate(ctx, opts)
+	if tracer != nil {
+		if werr := tracer.WriteChromeTraceFile(traceFile); werr != nil {
+			fatalf("%v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", traceFile)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return recs
+}
+
+// qorRun serves `vpgaflow qor run`: gate matrix -> ledger records.
+func qorRun(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("qor run", flag.ExitOnError)
+	opts := gateFlags(fs)
+	out := fs.String("out", "", "append records to this JSONL ledger (default: stdout)")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of the gate run")
+	fs.Parse(args)
+
+	recs := runGate(ctx, *opts, *traceFile)
+	if *out == "" {
+		if err := qor.Write(os.Stdout, recs...); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if err := qor.Append(*out, recs...); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "qor: appended %d record(s) to %s\n", len(recs), *out)
+}
+
+// qorBaseline serves `vpgaflow qor baseline`: gate matrix -> committed
+// baseline file.
+func qorBaseline(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("qor baseline", flag.ExitOnError)
+	opts := gateFlags(fs)
+	out := fs.String("out", "qor/baseline.json", "baseline file to write")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of the gate run")
+	fs.Parse(args)
+
+	recs := runGate(ctx, *opts, *traceFile)
+	writeBaseline(*out, *opts, recs)
+}
+
+func writeBaseline(path string, opts qor.GateOptions, recs []qor.Record) {
+	rev := ""
+	gen := ""
+	if len(recs) > 0 {
+		rev, gen = recs[0].GitRev, recs[0].Time
+	}
+	b := &qor.Baseline{
+		Generated: gen, GitRev: rev,
+		Scale: opts.Scale, Seed: opts.Seed, PlaceEffort: opts.PlaceEffort,
+		Tolerance: qor.DefaultTolerance(),
+		Records:   recs,
+	}
+	if b.Scale == "" {
+		b.Scale = "test"
+	}
+	if b.PlaceEffort == 0 {
+		b.PlaceEffort = 3
+	}
+	if err := qor.WriteBaseline(path, b); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "qor: baseline written to %s (%d record(s))\n", path, len(b.Records))
+}
+
+// qorDiff serves `vpgaflow qor diff`: drift-gate the current tree (a
+// fresh gate run replaying the baseline's parameters) or an existing
+// ledger against the committed baseline. Exits 1 on drift.
+func qorDiff(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("qor diff", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "qor/baseline.json", "committed baseline to gate against")
+	ledgerPath := fs.String("ledger", "", "gate this JSONL ledger instead of running the gate matrix")
+	jsonOut := fs.String("json", "", "also write the machine-readable verdict JSON to this file ('-' for stdout)")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of the gate run")
+	parallel := fs.Int("parallel", 0, "concurrent gate cells (0 = all cores)")
+	verbose := fs.Bool("v", false, "print every metric row, not only the findings")
+	fs.Parse(args)
+
+	base, err := qor.ReadBaseline(*baselinePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cur []qor.Record
+	opts := qor.GateOptions{
+		Scale: base.Scale, Seed: base.Seed, PlaceEffort: base.PlaceEffort,
+		Parallel: *parallel,
+	}
+	if *ledgerPath != "" {
+		if cur, err = qor.Read(*ledgerPath); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		// Replay exactly the configuration the baseline records, so the
+		// diff is apples-to-apples without any flag coordination.
+		cur = runGate(ctx, opts, *traceFile)
+	}
+	v := qor.Diff(base.Records, cur, base.Tolerance)
+	fmt.Print(v.Table(*verbose))
+	if *jsonOut != "" {
+		enc, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc = append(enc, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if os.Getenv("VPGA_UPDATE_BASELINE") == "1" {
+		writeBaseline(*baselinePath, opts, cur)
+		return
+	}
+	if !v.Pass {
+		os.Exit(1)
+	}
+}

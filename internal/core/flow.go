@@ -111,6 +111,12 @@ type Report struct {
 	Perturbation float64
 	Wirelength   float64
 	Overflow     int
+	// ChannelTracks is the router's per-edge track capacity (the channel
+	// width the run routed against); PeakTrackDemand is the peak
+	// per-edge track demand in tracks (utilization x capacity). Both are
+	// deterministic QoR figures, not wall-clock artifacts.
+	ChannelTracks   int
+	PeakTrackDemand float64
 
 	ClockPeriod float64
 	AvgTopSlack float64 // Table 2 metric: average slack, paths 1–10
@@ -452,6 +458,8 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	art.Routes = routes
 	rep.Wirelength = routes.Total
 	rep.Overflow = routes.Overflow
+	rep.ChannelTracks = routes.Capacity()
+	rep.PeakTrackDemand = routes.MaxUtilization * float64(routes.Capacity())
 
 	// Post-layout static timing.
 	end = cfg.Trace.Stage("sta")

@@ -226,11 +226,15 @@ func (r *Run) Stage(stage string) func() {
 		return func() {}
 	}
 	start := r.tr.since()
+	r.tr.publish(Event{Type: "stage_start", Run: r.label, Worker: r.worker,
+		Stage: stage, TsUS: eventUS(start)})
 	return func() {
 		d := r.tr.since() - start
 		r.mu.Lock()
 		r.spans = append(r.spans, Span{Stage: stage, Start: start, Dur: d})
 		r.mu.Unlock()
+		r.tr.publish(Event{Type: "stage_end", Run: r.label, Worker: r.worker,
+			Stage: stage, TsUS: eventUS(start + d), DurUS: eventUS(d)})
 	}
 }
 
@@ -261,6 +265,8 @@ func (r *Run) Attempt(attempt int, action, errMsg string) {
 	r.mu.Lock()
 	r.attempts = append(r.attempts, AttemptEvent{At: at, Attempt: attempt, Action: action, Err: errMsg})
 	r.mu.Unlock()
+	r.tr.publish(Event{Type: "attempt", Run: r.label, Worker: r.worker,
+		Stage: action, TsUS: eventUS(at), Attempt: attempt, Error: errMsg})
 }
 
 // Close ends the run and releases its worker row for reuse by the next
@@ -276,8 +282,10 @@ func (r *Run) Close() {
 	}
 	r.closed = true
 	r.end = r.tr.since()
+	end := r.end
 	r.mu.Unlock()
 	r.tr.release(r.worker)
+	r.tr.publish(Event{Type: "run_end", Run: r.label, Worker: r.worker, TsUS: eventUS(end)})
 }
 
 // Spans returns a copy of the run's recorded spans.
@@ -348,6 +356,10 @@ type Tracer struct {
 	runs     []*Run
 	freeRows []int // released rows, reused smallest-first
 	rows     int   // rows ever created
+	// Live event log (see events.go): every run/stage/attempt boundary
+	// appends an Event and wakes the registered waiters.
+	events  []Event
+	waiters []chan struct{}
 }
 
 // NewTracer starts a tracer; its epoch is the zero timestamp of every
@@ -379,6 +391,7 @@ func (t *Tracer) NewRun(label string) *Run {
 	r := &Run{tr: t, label: label, worker: row, start: t.since()}
 	t.runs = append(t.runs, r)
 	t.mu.Unlock()
+	t.publish(Event{Type: "run_start", Run: label, Worker: row, TsUS: eventUS(r.start)})
 	return r
 }
 

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteChromeTraceFileErrors: unwritable paths surface errors
+// instead of passing silently, and an empty (but live) tracer still
+// writes a valid, loadable trace.
+func TestWriteChromeTraceFileErrors(t *testing.T) {
+	tr := NewTracer()
+	if err := tr.WriteChromeTraceFile(filepath.Join(t.TempDir(), "missing", "trace.json")); err == nil {
+		t.Fatal("write into a missing directory passed")
+	}
+	if err := tr.WriteChromeTraceFile(t.TempDir()); err == nil {
+		t.Fatal("write onto a directory passed")
+	}
+
+	// An empty tracer produces a valid JSON array (process metadata
+	// only), so downstream viewers load it without complaint.
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := tr.WriteChromeTraceFile(path); err != nil {
+		t.Fatalf("empty tracer: %v", err)
+	}
+	enc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(enc, &events); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	for _, ev := range events {
+		if ev["ph"] != "M" {
+			t.Fatalf("empty tracer emitted a non-metadata event: %v", ev)
+		}
+	}
+
+	// A nil tracer writes the empty array.
+	var nilTr *Tracer
+	path = filepath.Join(t.TempDir(), "nil.json")
+	if err := nilTr.WriteChromeTraceFile(path); err != nil {
+		t.Fatalf("nil tracer: %v", err)
+	}
+	if enc, _ := os.ReadFile(path); strings.TrimSpace(string(enc)) != "[]" {
+		t.Fatalf("nil tracer trace = %q, want []", enc)
+	}
+}
+
+// TestSummaryTableGolden pins the stderr summary-table rendering. The
+// spans are set directly with fixed durations so the output is exact.
+func TestSummaryTableGolden(t *testing.T) {
+	tr := NewTracer()
+	run := tr.NewRun("alu/granular-plb/flow b")
+	run.mu.Lock()
+	run.spans = []Span{
+		{Stage: "place", Start: 0, Dur: 30 * time.Millisecond},
+		{Stage: "route", Start: 30 * time.Millisecond, Dur: 10 * time.Millisecond},
+		{Stage: "place", Start: 40 * time.Millisecond, Dur: 10 * time.Millisecond},
+	}
+	run.mu.Unlock()
+	run.Close()
+
+	want := "" +
+		"flow trace: 1 run(s)\n" +
+		"  stage       spans        total         mean   share\n" +
+		"  place           2         40ms         20ms   80.0%\n" +
+		"  route           1         10ms         10ms   20.0%\n" +
+		"  sum                       50ms\n"
+	if got := tr.SummaryTable(); got != want {
+		t.Fatalf("summary table drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestEventLogAndWait: the live event log records every run/stage/
+// attempt boundary in order, EventsSince honors its cursor, and Wait
+// wakes subscribers exactly when events past their cursor exist.
+func TestEventLogAndWait(t *testing.T) {
+	tr := NewTracer()
+	if evs := tr.EventsSince(0); evs != nil {
+		t.Fatalf("fresh tracer has events: %v", evs)
+	}
+	waiting := tr.Wait(0)
+	select {
+	case <-waiting:
+		t.Fatal("Wait(0) closed with no events")
+	default:
+	}
+
+	run := tr.NewRun("alu/granular-plb/flow b")
+	select {
+	case <-waiting:
+	default:
+		t.Fatal("publish did not wake the waiter")
+	}
+	end := run.Stage("place")
+	end()
+	run.Attempt(2, "reseed", "boom")
+	run.Close()
+
+	evs := tr.EventsSince(0)
+	var types []string
+	for i, ev := range evs {
+		if ev.Seq != int64(i)+1 {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Run != "alu/granular-plb/flow b" {
+			t.Fatalf("event %d run = %q", i, ev.Run)
+		}
+		types = append(types, ev.Type)
+	}
+	want := []string{"run_start", "stage_start", "stage_end", "attempt", "run_end"}
+	if strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	if evs[1].Stage != "place" || evs[2].Stage != "place" || evs[2].DurUS < 0 {
+		t.Fatalf("stage events malformed: %+v %+v", evs[1], evs[2])
+	}
+	if evs[3].Attempt != 2 || evs[3].Error != "boom" || evs[3].Stage != "reseed" {
+		t.Fatalf("attempt event malformed: %+v", evs[3])
+	}
+
+	// Cursor semantics: a partial drain resumes where it stopped.
+	tail := tr.EventsSince(3)
+	if len(tail) != 2 || tail[0].Type != "attempt" {
+		t.Fatalf("EventsSince(3) = %v", tail)
+	}
+	// Wait behind the log comes back closed; Wait at the tip blocks.
+	select {
+	case <-tr.Wait(2):
+	default:
+		t.Fatal("Wait behind the log did not come back closed")
+	}
+	select {
+	case <-tr.Wait(len(evs)):
+		t.Fatal("Wait at the tip came back closed")
+	default:
+	}
+
+	// Nil tracer: closed Wait, no events, publish no-ops.
+	var nilTr *Tracer
+	<-nilTr.Wait(0)
+	if nilTr.EventsSince(0) != nil {
+		t.Fatal("nil tracer has events")
+	}
+	nilTr.publish(Event{Type: "run_start"})
+}

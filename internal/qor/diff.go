@@ -1,0 +1,281 @@
+package qor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Tolerance is the drift gate's per-metric band: relative limits for
+// the continuous QoR figures and absolute limits for the discrete
+// ones. A regression is a change past its band in the *bad* direction
+// (larger area/delay/wirelength/power/overflow, more repair attempts,
+// lower yield); improvements never fail the gate, they are reported.
+type Tolerance struct {
+	RelGates      float64 `json:"rel_gates"`
+	RelDieArea    float64 `json:"rel_die_area"`
+	RelDelay      float64 `json:"rel_delay"`
+	RelWirelength float64 `json:"rel_wirelength"`
+	RelPower      float64 `json:"rel_power"`
+	RelTracks     float64 `json:"rel_tracks"`
+	AbsOverflow   int     `json:"abs_overflow"`
+	AbsRepair     int     `json:"abs_repair"`
+	AbsYield      float64 `json:"abs_yield"`
+	// RelRuntime > 0 additionally gates total wall-clock runtime; off by
+	// default because runtime is machine-dependent.
+	RelRuntime float64 `json:"rel_runtime,omitempty"`
+}
+
+// DefaultTolerance is the committed gate: tight enough that a real
+// QoR change (the paper's claims move in whole percents) trips it,
+// loose enough to absorb cross-platform floating-point noise.
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		RelGates:      0.02,
+		RelDieArea:    0.02,
+		RelDelay:      0.05,
+		RelWirelength: 0.05,
+		RelPower:      0.05,
+		RelTracks:     0.10,
+		AbsOverflow:   0,
+		AbsRepair:     0,
+		AbsYield:      0.02,
+	}
+}
+
+// Delta is one metric comparison of one record: baseline value,
+// current value, and the verdict. Status is "ok", "improved",
+// "regressed", "missing" (in the baseline, absent from the current
+// ledger — a coverage regression) or "new" (no baseline yet).
+type Delta struct {
+	ID     string  `json:"id"`
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"cur"`
+	// Rel is (cur-base)/|base|, 0 when base is 0.
+	Rel    float64 `json:"rel"`
+	Limit  string  `json:"limit"`
+	Status string  `json:"status"`
+}
+
+// Verdict is the drift gate's machine-readable outcome.
+type Verdict struct {
+	Pass     bool    `json:"pass"`
+	Compared int     `json:"compared"`
+	Deltas   []Delta `json:"deltas"`
+}
+
+// Regressions returns the failing deltas (regressed and missing rows).
+func (v *Verdict) Regressions() []Delta {
+	var out []Delta
+	for _, d := range v.Deltas {
+		if d.Status == "regressed" || d.Status == "missing" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// metricCheck compares one metric. sign is +1 when larger is worse,
+// -1 when smaller is worse (yield, slack).
+type metricCheck struct {
+	name string
+	get  func(Record) float64
+	// rel > 0: relative band; otherwise abs is the absolute band.
+	rel  func(Tolerance) float64
+	abs  func(Tolerance) float64
+	sign float64
+}
+
+var metricChecks = []metricCheck{
+	{"gates", func(r Record) float64 { return r.Gates }, func(t Tolerance) float64 { return t.RelGates }, nil, +1},
+	{"die_area", func(r Record) float64 { return r.DieArea }, func(t Tolerance) float64 { return t.RelDieArea }, nil, +1},
+	{"delay_ps", func(r Record) float64 { return r.DelayPS }, func(t Tolerance) float64 { return t.RelDelay }, nil, +1},
+	{"wirelength", func(r Record) float64 { return r.Wirelength }, func(t Tolerance) float64 { return t.RelWirelength }, nil, +1},
+	{"power_uw", func(r Record) float64 { return r.PowerUW }, func(t Tolerance) float64 { return t.RelPower }, nil, +1},
+	{"peak_track_demand", func(r Record) float64 { return r.PeakTrackDemand }, func(t Tolerance) float64 { return t.RelTracks }, nil, +1},
+	{"overflow", func(r Record) float64 { return float64(r.Overflow) }, nil, func(t Tolerance) float64 { return float64(t.AbsOverflow) }, +1},
+	{"repair_attempts", func(r Record) float64 { return float64(r.RepairAttempts) }, nil, func(t Tolerance) float64 { return float64(t.AbsRepair) }, +1},
+	{"yield", func(r Record) float64 { return r.Yield }, nil, func(t Tolerance) float64 { return t.AbsYield }, -1},
+	{"runtime_seconds", func(r Record) float64 { return r.RuntimeSeconds }, func(t Tolerance) float64 { return t.RelRuntime }, nil, +1},
+}
+
+// Diff compares the current ledger against the baseline records under
+// the tolerance bands. Records are matched by ID (bench/arch/flow/
+// seed); when a ledger holds several records for one ID — an
+// append-only file accumulates history — the *latest* line wins, so
+// diffing a long-lived ledger gates its newest run.
+func Diff(baseline, current []Record, tol Tolerance) *Verdict {
+	curByID := map[string]Record{}
+	for _, r := range current {
+		curByID[r.ID()] = r // later lines overwrite earlier history
+	}
+	v := &Verdict{Pass: true}
+	seen := map[string]bool{}
+	for _, base := range baseline {
+		id := base.ID()
+		seen[id] = true
+		cur, ok := curByID[id]
+		if !ok {
+			v.Deltas = append(v.Deltas, Delta{ID: id, Metric: "(record)", Status: "missing",
+				Limit: "present"})
+			v.Pass = false
+			continue
+		}
+		v.Compared++
+		for _, mc := range metricChecks {
+			b, c := mc.get(base), mc.get(cur)
+			if mc.name == "yield" && b == 0 && c == 0 {
+				continue // non-yield records: metric not applicable
+			}
+			if mc.name == "runtime_seconds" && (mc.rel == nil || mc.rel(tol) <= 0) {
+				continue // perf gating off by default
+			}
+			d := Delta{ID: id, Metric: mc.name, Base: b, Cur: c}
+			if b != 0 {
+				d.Rel = (c - b) / math.Abs(b)
+			}
+			worse := mc.sign * (c - b) // > 0 means moved in the bad direction
+			var within bool
+			if mc.rel != nil && mc.rel(tol) > 0 {
+				lim := mc.rel(tol)
+				d.Limit = fmt.Sprintf("±%.1f%%", 100*lim)
+				within = math.Abs(c-b) <= lim*math.Abs(b) || (b == 0 && c == 0)
+			} else if mc.abs != nil {
+				lim := mc.abs(tol)
+				d.Limit = fmt.Sprintf("±%g", lim)
+				within = math.Abs(c-b) <= lim
+			} else {
+				continue
+			}
+			switch {
+			case within:
+				d.Status = "ok"
+			case worse > 0:
+				d.Status = "regressed"
+				v.Pass = false
+			default:
+				d.Status = "improved"
+			}
+			v.Deltas = append(v.Deltas, d)
+		}
+	}
+	var fresh []string
+	for id := range curByID {
+		if !seen[id] {
+			fresh = append(fresh, id)
+		}
+	}
+	sort.Strings(fresh)
+	for _, id := range fresh {
+		v.Deltas = append(v.Deltas, Delta{ID: id, Metric: "(record)", Status: "new"})
+	}
+	return v
+}
+
+// Table renders the verdict for humans: one row per non-ok delta (all
+// deltas when verbose), regressions first, with the offending
+// benchmark/arch/metric named.
+func (v *Verdict) Table(verbose bool) string {
+	var sb strings.Builder
+	rows := make([]Delta, 0, len(v.Deltas))
+	for _, d := range v.Deltas {
+		if verbose || d.Status != "ok" {
+			rows = append(rows, d)
+		}
+	}
+	rank := map[string]int{"missing": 0, "regressed": 1, "new": 2, "improved": 3, "ok": 4}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if ri, rj := rank[rows[i].Status], rank[rows[j].Status]; ri != rj {
+			return ri < rj
+		}
+		if rows[i].ID != rows[j].ID {
+			return rows[i].ID < rows[j].ID
+		}
+		return rows[i].Metric < rows[j].Metric
+	})
+	verdict := "PASS"
+	if !v.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&sb, "qor drift gate: %s (%d record(s) compared, %d finding(s))\n",
+		verdict, v.Compared, len(rows))
+	if len(rows) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  %-32s %-18s %12s %12s %9s %8s %s\n",
+		"record", "metric", "baseline", "current", "delta", "limit", "status")
+	for _, d := range rows {
+		if d.Metric == "(record)" {
+			fmt.Fprintf(&sb, "  %-32s %-18s %12s %12s %9s %8s %s\n",
+				d.ID, d.Metric, "-", "-", "-", d.Limit, d.Status)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-32s %-18s %12.4g %12.4g %+8.2f%% %8s %s\n",
+			d.ID, d.Metric, d.Base, d.Cur, 100*d.Rel, d.Limit, d.Status)
+	}
+	return sb.String()
+}
+
+// Baseline is the committed drift-gate reference (qor/baseline.json):
+// the run parameters that produced it, the tolerance bands it is
+// judged under, and the perf-stripped records.
+type Baseline struct {
+	Schema    int    `json:"schema"`
+	Generated string `json:"generated,omitempty"`
+	GitRev    string `json:"git_rev,omitempty"`
+	// Scale/Seed/PlaceEffort are the gate-matrix parameters: refreshing
+	// or re-checking the baseline replays exactly this configuration.
+	Scale       string    `json:"scale"`
+	Seed        int64     `json:"seed"`
+	PlaceEffort int       `json:"place_effort"`
+	Tolerance   Tolerance `json:"tolerance"`
+	Records     []Record  `json:"records"`
+}
+
+// ReadBaseline loads and validates a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	enc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("qor: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(enc, &b); err != nil {
+		return nil, fmt.Errorf("qor: baseline %s: %w", path, err)
+	}
+	if b.Schema > SchemaVersion {
+		return nil, fmt.Errorf("qor: baseline %s: schema %d newer than supported %d",
+			path, b.Schema, SchemaVersion)
+	}
+	if len(b.Records) == 0 {
+		return nil, fmt.Errorf("qor: baseline %s holds no records", path)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the baseline as stable, indented JSON (it is a
+// committed file, so diffs must be reviewable). Records are stored
+// perf-stripped and sorted by ID.
+func WriteBaseline(path string, b *Baseline) error {
+	b.Schema = SchemaVersion
+	recs := append([]Record(nil), b.Records...)
+	for i := range recs {
+		recs[i].StripPerf()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID() < recs[j].ID() })
+	b.Records = recs
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("qor: encode baseline: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("qor: baseline dir: %w", err)
+		}
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}

@@ -1,0 +1,231 @@
+// Package qor is the quality-of-results regression observatory: a
+// durable, append-only JSONL ledger of flow-run QoR and performance
+// figures, and a drift gate that diffs a fresh ledger against a
+// committed baseline with per-metric tolerance bands.
+//
+// The split the whole package is organized around: a Record's QoR
+// fields (area, delay, wirelength, track demand, repair count, ...)
+// are deterministic for a fixed request + seed — the same property the
+// service's content-addressed cache relies on — while its perf fields
+// (wall-clock runtime, per-stage seconds, moves/s, git revision,
+// timestamp) are execution artifacts. StripPerf zeroes the latter, so
+// two records of the same run compare identical, and the drift gate
+// judges QoR on exact per-metric bands while perf is tracked but, by
+// default, not gated (it is machine-dependent).
+package qor
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vpga/internal/core"
+)
+
+// SchemaVersion is the ledger record schema. Readers accept records at
+// or below their own version; bumping it marks an incompatible field
+// change.
+const SchemaVersion = 1
+
+// Record is one ledger line: the QoR and perf figures of one flow run,
+// keyed by what ran (bench/arch/flow/seed) and, when the run came from
+// a FlowRequest, by the request's content-address cache key.
+type Record struct {
+	Schema int `json:"schema"`
+
+	// Identity: which cell of the experiment space this is.
+	Bench string `json:"bench"`
+	Arch  string `json:"arch"`
+	Flow  string `json:"flow"`
+	Seed  int64  `json:"seed"`
+	// Key is the originating FlowRequest's cache key ("" when the run
+	// was not request-shaped, e.g. a clock-pinned matrix cell).
+	Key string `json:"key,omitempty"`
+
+	// QoR: deterministic for fixed identity.
+	Gates           float64 `json:"gates"`
+	DieArea         float64 `json:"die_area"`
+	PLBs            int     `json:"plbs,omitempty"`
+	Utilization     float64 `json:"utilization,omitempty"`
+	DelayPS         float64 `json:"delay_ps"`
+	WorstSlackPS    float64 `json:"worst_slack_ps"`
+	Wirelength      float64 `json:"wirelength"`
+	Overflow        int     `json:"overflow"`
+	ChannelTracks   int     `json:"channel_tracks,omitempty"`
+	PeakTrackDemand float64 `json:"peak_track_demand,omitempty"`
+	PowerUW         float64 `json:"power_uw"`
+	RepairAttempts  int     `json:"repair_attempts,omitempty"`
+	// Yield is populated only by yield-sweep records (fraction of defect
+	// maps the repair ladder recovered).
+	Yield float64 `json:"yield,omitempty"`
+
+	// Perf: wall-clock execution artifacts, zeroed by StripPerf.
+	Time           string             `json:"time,omitempty"`
+	GitRev         string             `json:"git_rev,omitempty"`
+	RuntimeSeconds float64            `json:"runtime_seconds,omitempty"`
+	StageSeconds   map[string]float64 `json:"stage_seconds,omitempty"`
+	MovesPerSec    float64            `json:"moves_per_sec,omitempty"`
+}
+
+// ID is the record's identity within a ledger or baseline: the
+// (bench, arch, flow, seed) cell it measures.
+func (r Record) ID() string {
+	return fmt.Sprintf("%s/%s/%s/seed%d", r.Bench, r.Arch, r.Flow, r.Seed)
+}
+
+// StripPerf zeroes the wall-clock fields — the ledger counterpart of
+// core's Report.StripMetrics. Two records of the same request + seed
+// are identical after StripPerf; the determinism suite asserts this.
+func (r *Record) StripPerf() {
+	if r == nil {
+		return
+	}
+	r.Time = ""
+	r.GitRev = ""
+	r.RuntimeSeconds = 0
+	r.StageSeconds = nil
+	r.MovesPerSec = 0
+}
+
+// FromReport extracts a Record from a flow report. key may be "" for
+// runs that are not request-shaped. Perf fields come from the report's
+// observability block when the run was traced (Stages/Solver), and the
+// caller stamps Time/GitRev afterwards if it wants them.
+func FromReport(rep *core.Report, seed int64, key string) Record {
+	rec := Record{
+		Schema: SchemaVersion,
+		// Reports carry display names ("ALU"); ledger identities use the
+		// request-shaped lowercase form so IDs line up with FlowRequests.
+		Bench: strings.ToLower(rep.Design), Arch: rep.Arch, Flow: rep.Flow, Seed: seed, Key: key,
+		Gates: rep.GateCount, DieArea: rep.DieArea,
+		PLBs: rep.Rows * rep.Cols, Utilization: rep.Utilization,
+		DelayPS: rep.MaxArrival, WorstSlackPS: rep.WorstSlack,
+		Wirelength: rep.Wirelength, Overflow: rep.Overflow,
+		ChannelTracks: rep.ChannelTracks, PeakTrackDemand: rep.PeakTrackDemand,
+		PowerUW: rep.PowerUW, RepairAttempts: len(rep.Attempts),
+		RuntimeSeconds: rep.Runtime.Seconds(),
+	}
+	if len(rep.Stages) > 0 {
+		rec.StageSeconds = make(map[string]float64, len(rep.Stages))
+		for _, st := range rep.Stages {
+			rec.StageSeconds[st.Stage] = st.Dur.Seconds()
+		}
+		if rep.Solver != nil && rec.StageSeconds["place"] > 0 {
+			rec.MovesPerSec = float64(rep.Solver.AnnealProposed) / rec.StageSeconds["place"]
+		}
+	}
+	return rec
+}
+
+// Stamp fills the record's provenance fields: an RFC3339 timestamp and
+// the git revision (skipped when rev is "").
+func (r *Record) Stamp(now time.Time, rev string) {
+	r.Time = now.UTC().Format(time.RFC3339)
+	r.GitRev = rev
+}
+
+// GitRev best-effort resolves the working tree's short revision; it
+// returns "" when git or the repository is unavailable — ledger
+// provenance is optional, never fatal.
+func GitRev(dir string) string {
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Write encodes records as JSONL: one compact JSON object per line.
+func Write(w io.Writer, recs ...Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		enc, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("qor: encode record %s: %w", rec.ID(), err)
+		}
+		bw.Write(enc)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Append appends records to the ledger at path, creating the file (and
+// its directory) on first use. The ledger is append-only by
+// construction: existing lines are never rewritten, so concurrent
+// history survives crashes mid-append at worst as one truncated final
+// line, which Read skips with an error naming the line.
+func Append(path string, recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("qor: ledger dir: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("qor: open ledger: %w", err)
+	}
+	// Buffer the whole append so a multi-record batch lands as one
+	// write, keeping concurrent appenders line-atomic on POSIX.
+	var buf bytes.Buffer
+	if err := Write(&buf, recs...); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("qor: append ledger: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadAll decodes a JSONL ledger stream. Blank lines are skipped;
+// unknown fields are tolerated (forward compatibility), but a record
+// from a newer schema than this reader understands is an error.
+func ReadAll(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return recs, fmt.Errorf("qor: ledger line %d: %w", line, err)
+		}
+		if rec.Schema > SchemaVersion {
+			return recs, fmt.Errorf("qor: ledger line %d: schema %d newer than supported %d",
+				line, rec.Schema, SchemaVersion)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, fmt.Errorf("qor: ledger line %d: %w", line, err)
+	}
+	return recs, nil
+}
+
+// Read loads the ledger at path.
+func Read(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("qor: %w", err)
+	}
+	defer f.Close()
+	return ReadAll(f)
+}

@@ -119,6 +119,12 @@ type Result struct {
 	hEdges, vEdges []int16
 }
 
+// Capacity returns the per-edge track capacity the router actually
+// used (the derived or explicit channel width, after CapacityScale).
+func (r *Result) Capacity() int {
+	return r.opts.Capacity
+}
+
 // WireRC returns the wire delay (ps) and load capacitance (fF) seen by
 // net n's driver toward sink k. Short wires follow the lumped Elmore
 // model delay = r·L·(c·L/2); past the repeater crossover the delay is

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // lru is a bounded least-recently-used cache from content address to
@@ -14,6 +15,9 @@ type lru struct {
 	max int
 	ll  *list.List // front = most recently used
 	m   map[string]*list.Element
+	// evicted counts capacity evictions since startup (surfaced by
+	// /metrics as vpgad_cache_evictions_total).
+	evicted atomic.Int64
 }
 
 type lruEntry struct {
@@ -55,7 +59,13 @@ func (c *lru) put(key string, val any) {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.m, last.Value.(*lruEntry).key)
+		c.evicted.Add(1)
 	}
+}
+
+// evictions reports capacity evictions since startup.
+func (c *lru) evictions() int64 {
+	return c.evicted.Load()
 }
 
 // len reports the live entry count.

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// histogram is a zero-dependency, log-bucketed Prometheus histogram:
+// fixed powers-of-two bucket bounds (1ms .. ~524s, 20 buckets plus
+// +Inf), atomic counters, lock-free observe. That span covers
+// everything the daemon times — queue waits in microseconds up to
+// paper-scale matrix jobs in minutes — with ~2x resolution, which is
+// what a latency distribution needs and all a dependency-free emitter
+// can afford.
+type histogram struct {
+	counts [len(histBounds) + 1]atomic.Int64
+	// sum is the float64 bit pattern of the observed total, CAS-updated.
+	sum   atomic.Uint64
+	count atomic.Int64
+}
+
+// histBounds are the buckets' upper bounds in seconds: 0.001 * 2^k.
+var histBounds = func() [20]float64 {
+	var b [20]float64
+	for i := range b {
+		b[i] = 0.001 * math.Pow(2, float64(i))
+	}
+	return b
+}()
+
+// observe records one value in seconds.
+func (h *histogram) observe(sec float64) {
+	if sec < 0 || math.IsNaN(sec) {
+		return
+	}
+	i := sort.SearchFloat64s(histBounds[:], sec) // first bound >= sec
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sec)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// snapshot returns the cumulative bucket counts (le-ordered, +Inf
+// last), the total count and the sum.
+func (h *histogram) snapshot() (cum []int64, count int64, sum float64) {
+	cum = make([]int64, len(histBounds)+1)
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cum[i] = acc
+	}
+	return cum, h.count.Load(), math.Float64frombits(h.sum.Load())
+}
+
+// formatLe renders a bucket bound the Prometheus way (shortest
+// round-trip float).
+func formatLe(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHist emits one labeled series of the family: _bucket lines
+// (cumulative, le-sorted, +Inf last), _sum and _count. labels is the
+// rendered label set without braces ("" for none).
+func (h *histogram) writeSeries(w io.Writer, name, labels string) {
+	sep := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
+	cum, count, sum := h.snapshot()
+	for i, bound := range histBounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(`le="`+formatLe(bound)+`"`), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(`le="+Inf"`), cum[len(histBounds)])
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, sep(""), strconv.FormatFloat(sum, 'f', 6, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sep(""), count)
+}
+
+// write emits the histogram as a complete single-series family with
+// HELP/TYPE headers.
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.writeSeries(w, name, "")
+}
+
+// histogramVec is a histogram family keyed by one label (the flow
+// stage). Series are created on first observation.
+type histogramVec struct {
+	label string
+
+	mu     sync.Mutex
+	series map[string]*histogram
+}
+
+func newHistogramVec(label string) *histogramVec {
+	return &histogramVec{label: label, series: make(map[string]*histogram)}
+}
+
+func (v *histogramVec) with(value string) *histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.series[value]
+	if !ok {
+		h = &histogram{}
+		v.series[value] = h
+	}
+	return h
+}
+
+// write emits every series of the family under one HELP/TYPE header,
+// label values sorted for deterministic exposition.
+func (v *histogramVec) write(w io.Writer, name, help string) {
+	v.mu.Lock()
+	values := make([]string, 0, len(v.series))
+	for val := range v.series {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	series := make([]*histogram, len(values))
+	for i, val := range values {
+		series[i] = v.series[val]
+	}
+	v.mu.Unlock()
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, val := range values {
+		series[i].writeSeries(w, name, v.label+`="`+val+`"`)
+	}
+}

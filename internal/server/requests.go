@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sort"
 
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/core"
 	"vpga/internal/defect"
 	"vpga/internal/obs"
+	"vpga/internal/qor"
 )
 
 // MatrixRequest is the serializable description of one Table 1/2
@@ -128,6 +130,26 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		}
 		return res, nil
 	})
+	// Matrix cells are not request-shaped (RunMatrix pins clocks across
+	// flows), so their ledger records carry no cache key.
+	j.ledger = func(v any) []qor.Record {
+		res, ok := v.(MatrixResult)
+		if !ok {
+			return nil
+		}
+		var recs []qor.Record
+		for _, archs := range res.Reports {
+			for _, flows := range archs {
+				for _, rep := range flows {
+					if rep != nil {
+						recs = append(recs, qor.FromReport(rep, n.Seed, ""))
+					}
+				}
+			}
+		}
+		sort.Slice(recs, func(i, k int) bool { return recs[i].ID() < recs[k].ID() })
+		return recs
+	}
 	s.dispatch(w, r, j)
 }
 

@@ -10,8 +10,9 @@
 //	POST /v1/sweeps/routing      per-channel track-capacity sweep
 //	GET  /v1/runs/{id}           job status / result
 //	GET  /v1/runs/{id}/trace     Chrome trace-event JSON of the job
+//	GET  /v1/runs/{id}/events    live SSE stream of the job's telemetry
 //	GET  /healthz                liveness + queue stats
-//	GET  /metrics                Prometheus text metrics
+//	GET  /metrics                Prometheus text metrics (histograms incl.)
 //
 // Every run-shaped result is memoized in a bounded LRU cache keyed by
 // the request's content address (FlowRequest.CacheKey): flows are
@@ -36,6 +37,7 @@ import (
 
 	"vpga/internal/core"
 	"vpga/internal/obs"
+	"vpga/internal/qor"
 )
 
 // Options configures a Server. The zero value serves with GOMAXPROCS
@@ -56,6 +58,11 @@ type Options struct {
 	// of older jobs are evicted, oldest first (0 = 64). The result
 	// cache is unaffected by job eviction.
 	JobsKeep int
+	// LedgerPath, when set, appends one qor.Record per completed
+	// flow-run-shaped result (runs, matrix cells) to the JSONL run
+	// ledger at that path — the durable QoR history the drift gate
+	// consumes. Append failures are counted, never fatal.
+	LedgerPath string
 
 	// testJobStart, when set by a test, runs at the top of every job on
 	// its worker goroutine — tests block here to hold jobs "running"
@@ -89,9 +96,12 @@ type job struct {
 	tracer  *obs.Tracer
 	created time.Time
 	// exec runs the job; cachePrep converts its result into the
-	// immutable value stored in the cache (nil = store as returned).
+	// immutable value stored in the cache (nil = store as returned);
+	// ledger extracts the result's QoR records for the run ledger
+	// (nil = the job is not ledger-shaped).
 	exec      func(ctx context.Context, tr *obs.Tracer) (any, error)
 	cachePrep func(any) any
+	ledger    func(any) []qor.Record
 
 	done chan struct{} // closed when the job reaches done/failed
 
@@ -172,7 +182,14 @@ type Server struct {
 	// Metrics counters (atomic; surfaced by /metrics).
 	reqTotal, cacheHits, cacheMisses atomic.Int64
 	rejected, completed, failed      atomic.Int64
+	timeouts                         atomic.Int64
 	running                          atomic.Int64
+	ledgerRecords, ledgerErrors      atomic.Int64
+
+	// Latency histograms (zero-dependency log buckets; see histogram.go).
+	jobDur    *histogram
+	queueWait *histogram
+	stageDur  *histogramVec
 }
 
 // New starts a Server: its worker pool runs until Shutdown.
@@ -188,6 +205,10 @@ func New(opts Options) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 		start:   time.Now(),
+
+		jobDur:    &histogram{},
+		queueWait: &histogram{},
+		stageDur:  newHistogramVec("stage"),
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
@@ -195,6 +216,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/sweeps/routing", s.handleRoutingSweep)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < opts.Workers; i++ {
@@ -248,6 +270,7 @@ func (s *Server) worker() {
 
 func (s *Server) runJob(j *job) {
 	j.setStatus("running")
+	s.queueWait.observe(time.Since(j.created).Seconds())
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	if s.opts.testJobStart != nil {
@@ -259,11 +282,18 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
 		defer cancel()
 	}
+	execStart := time.Now()
 	res, err := j.exec(ctx, j.tracer)
+	s.jobDur.observe(time.Since(execStart).Seconds())
+	s.observeStages(j.tracer)
 	if err != nil {
 		s.failed.Add(1)
+		if isTimeout(err) {
+			s.timeouts.Add(1)
+		}
 	} else {
 		s.completed.Add(1)
+		s.appendLedger(j, res)
 		if j.key != "" {
 			v := res
 			if j.cachePrep != nil {
@@ -274,6 +304,50 @@ func (s *Server) runJob(j *job) {
 	}
 	j.complete(res, err)
 	s.retire(j)
+}
+
+// isTimeout reports whether a job failed on its wall-clock budget:
+// either the context deadline surfaced directly or the flow supervisor
+// already classified the failing stage as "timeout".
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var fe *core.FlowError
+	return errors.As(err, &fe) && fe.Stage == "timeout"
+}
+
+// observeStages feeds the job's stage spans into the per-stage
+// duration histograms.
+func (s *Server) observeStages(tr *obs.Tracer) {
+	for _, run := range tr.Runs() {
+		for _, span := range run.Spans() {
+			s.stageDur.with(span.Stage).observe(span.Dur.Seconds())
+		}
+	}
+}
+
+// appendLedger appends a completed job's QoR records to the run
+// ledger, when both a ledger path and a ledger-shaped job are present.
+// The ledger is observability, not a result: append failures count on
+// vpgad_ledger_errors_total and never fail the job.
+func (s *Server) appendLedger(j *job, res any) {
+	if s.opts.LedgerPath == "" || j.ledger == nil {
+		return
+	}
+	recs := j.ledger(res)
+	if len(recs) == 0 {
+		return
+	}
+	now := time.Now()
+	for i := range recs {
+		recs[i].Stamp(now, "")
+	}
+	if err := qor.Append(s.opts.LedgerPath, recs...); err != nil {
+		s.ledgerErrors.Add(1)
+		return
+	}
+	s.ledgerRecords.Add(int64(len(recs)))
 }
 
 // retire enforces the completed-job retention bound: job records —
@@ -422,6 +496,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		rep.StripMetrics()
 		return rep
 	}
+	j.ledger = func(v any) []qor.Record {
+		rep, ok := v.(*core.Report)
+		if !ok || rep == nil {
+			return nil
+		}
+		return []qor.Record{qor.FromReport(rep, n.Seed, key)}
+	}
 	s.dispatch(w, r, j)
 }
 
@@ -454,48 +535,160 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz serves GET /healthz.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// statsSnapshot is the one shared source of the daemon's runtime
+// stats: /healthz renders it as JSON and /metrics as Prometheus text,
+// so the two surfaces cannot drift apart (a test asserts they agree).
+type statsSnapshot struct {
+	Draining      bool
+	UptimeSeconds float64
+	Workers       int
+	QueueDepth    int
+	QueueCapacity int
+	JobsRunning   int64
+	CacheEntries  int
+
+	ReqTotal, CacheHits, CacheMisses   int64
+	Rejected, Completed, Failed        int64
+	Timeouts, CacheEvictions           int64
+	LedgerRecords, LedgerErrors        int64
+}
+
+// stats snapshots every runtime stat both observability endpoints
+// serve. Counters are read individually (not under one lock), so a
+// snapshot taken during a state transition may be skewed by one
+// in-flight job — fine for monitoring, and both endpoints share
+// whatever skew there is by construction.
+func (s *Server) stats() statsSnapshot {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	return statsSnapshot{
+		Draining:      draining,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.opts.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		JobsRunning:   s.running.Load(),
+		CacheEntries:  s.cache.len(),
+
+		ReqTotal: s.reqTotal.Load(), CacheHits: s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
+		Rejected: s.rejected.Load(), Completed: s.completed.Load(), Failed: s.failed.Load(),
+		Timeouts: s.timeouts.Load(), CacheEvictions: s.cache.evictions(),
+		LedgerRecords: s.ledgerRecords.Load(), LedgerErrors: s.ledgerErrors.Load(),
+	}
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.stats()
 	status := "ok"
 	code := http.StatusOK
-	if draining {
+	if st.Draining {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
 		"status":         status,
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"workers":        s.opts.Workers,
-		"queue_depth":    len(s.queue),
-		"queue_capacity": cap(s.queue),
-		"jobs_running":   s.running.Load(),
-		"cache_entries":  s.cache.len(),
+		"uptime_seconds": st.UptimeSeconds,
+		"workers":        st.Workers,
+		"queue_depth":    st.QueueDepth,
+		"queue_capacity": st.QueueCapacity,
+		"jobs_running":   st.JobsRunning,
+		"cache_entries":  st.CacheEntries,
 	})
 }
 
-// handleMetrics serves GET /metrics in Prometheus text format.
+// handleMetrics serves GET /metrics in Prometheus text format:
+// counters and gauges from the shared stats snapshot, plus the
+// log-bucketed latency histograms (job duration, queue wait, per-stage
+// duration).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := s.stats()
 	gauge := func(name string, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 	counter := func(name string, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	counter("vpgad_requests_total", "HTTP requests received", s.reqTotal.Load())
-	counter("vpgad_cache_hits_total", "submissions served from the content-addressed cache", s.cacheHits.Load())
-	counter("vpgad_cache_misses_total", "submissions that required a fresh job", s.cacheMisses.Load())
-	counter("vpgad_jobs_rejected_total", "submissions rejected by queue backpressure", s.rejected.Load())
-	counter("vpgad_jobs_completed_total", "jobs that finished successfully", s.completed.Load())
-	counter("vpgad_jobs_failed_total", "jobs that finished in error", s.failed.Load())
-	gauge("vpgad_jobs_running", "jobs executing right now", s.running.Load())
-	gauge("vpgad_queue_depth", "jobs queued but not yet running", int64(len(s.queue)))
-	gauge("vpgad_queue_capacity", "queue bound before 429 backpressure", int64(cap(s.queue)))
-	gauge("vpgad_workers", "worker pool size", int64(s.opts.Workers))
-	gauge("vpgad_cache_entries", "live content-addressed cache entries", int64(s.cache.len()))
+	counter("vpgad_requests_total", "HTTP requests received", st.ReqTotal)
+	counter("vpgad_cache_hits_total", "submissions served from the content-addressed cache", st.CacheHits)
+	counter("vpgad_cache_misses_total", "submissions that required a fresh job", st.CacheMisses)
+	counter("vpgad_cache_evictions_total", "content-addressed cache entries evicted by the LRU bound", st.CacheEvictions)
+	counter("vpgad_jobs_rejected_total", "submissions rejected by queue backpressure", st.Rejected)
+	counter("vpgad_jobs_completed_total", "jobs that finished successfully", st.Completed)
+	counter("vpgad_jobs_failed_total", "jobs that finished in error", st.Failed)
+	counter("vpgad_jobs_timeout_total", "jobs that failed on their per-job wall-clock budget", st.Timeouts)
+	counter("vpgad_ledger_records_total", "QoR records appended to the run ledger", st.LedgerRecords)
+	counter("vpgad_ledger_errors_total", "run-ledger append failures", st.LedgerErrors)
+	gauge("vpgad_jobs_running", "jobs executing right now", st.JobsRunning)
+	gauge("vpgad_queue_depth", "jobs queued but not yet running", int64(st.QueueDepth))
+	gauge("vpgad_queue_capacity", "queue bound before 429 backpressure", int64(st.QueueCapacity))
+	gauge("vpgad_workers", "worker pool size", int64(st.Workers))
+	gauge("vpgad_cache_entries", "live content-addressed cache entries", int64(st.CacheEntries))
 	fmt.Fprintf(w, "# HELP vpgad_uptime_seconds seconds since the daemon started\n# TYPE vpgad_uptime_seconds gauge\nvpgad_uptime_seconds %s\n",
-		strconv.FormatFloat(time.Since(s.start).Seconds(), 'f', 3, 64))
+		strconv.FormatFloat(st.UptimeSeconds, 'f', 3, 64))
+	s.jobDur.write(w, "vpgad_job_duration_seconds", "wall-clock job execution time")
+	s.queueWait.write(w, "vpgad_job_queue_wait_seconds", "time from submission to a worker picking the job up")
+	s.stageDur.write(w, "vpgad_stage_duration_seconds", "per-flow-stage wall-clock time across all jobs")
+}
+
+// handleEvents serves GET /v1/runs/{id}/events: the job's telemetry as
+// a Server-Sent Events stream — run/stage/attempt boundaries as they
+// happen, so an in-flight matrix is observable before it completes.
+// The stream replays the job's full event history first (connecting
+// late loses nothing), then follows live until the job finishes (a
+// final "done" event carries the terminal status) or the client
+// disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown or evicted job id"))
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	emit := func(evs []obs.Event) {
+		for _, ev := range evs {
+			enc, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, enc)
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+	}
+	cursor := 0
+	for {
+		evs := j.tracer.EventsSince(cursor)
+		cursor += len(evs)
+		emit(evs)
+		select {
+		case <-j.done:
+			// Drain anything published between the last poll and
+			// completion, then close the stream with the terminal status.
+			evs := j.tracer.EventsSince(cursor)
+			emit(evs)
+			resp := j.response()
+			fmt.Fprintf(w, "event: done\ndata: {\"status\":%q}\n\n", resp.Status)
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		case <-j.tracer.Wait(cursor):
+		}
+	}
 }

@@ -1,17 +1,22 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"vpga/internal/core"
+	"vpga/internal/qor"
 )
 
 // postJSON submits body to path on ts and decodes the jobResponse.
@@ -273,7 +278,8 @@ func TestMatrixEndpointCached(t *testing.T) {
 	if testing.Short() {
 		t.Skip("matrix run in -short mode")
 	}
-	_, ts := newTestServer(t, Options{Workers: 4})
+	ledger := filepath.Join(t.TempDir(), "ledger.jsonl")
+	_, ts := newTestServer(t, Options{Workers: 4, LedgerPath: ledger})
 
 	_, jr := postJSON(t, ts, "/v1/matrix?wait=1", `{"seed":1,"parallel":4}`)
 	if jr.Status != "done" {
@@ -296,6 +302,20 @@ func TestMatrixEndpointCached(t *testing.T) {
 	b2, _ := json.Marshal(again.Result)
 	if !bytes.Equal(b1, b2) {
 		t.Fatal("cached matrix payload differs from fresh payload")
+	}
+	// Every matrix cell landed in the run ledger (matrix cells are not
+	// request-shaped, so they carry no cache key).
+	recs, err := qor.Read(ledger)
+	if err != nil {
+		t.Fatalf("read ledger: %v", err)
+	}
+	if len(recs) != 16 {
+		t.Fatalf("matrix appended %d ledger records, want 16", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Key != "" || rec.Bench == "" || rec.DelayPS <= 0 {
+			t.Fatalf("matrix ledger record malformed: %+v", rec)
+		}
 	}
 }
 
@@ -429,5 +449,291 @@ func TestRepairRunOverHTTP(t *testing.T) {
 	}
 	if _, jr2 := postJSON(t, ts, "/v1/runs?wait=1", body); !jr2.Cached {
 		t.Fatal("repair run resubmission missed the cache")
+	}
+}
+
+// TestHealthzMetricsAgree: /healthz and /metrics render the same
+// shared stats snapshot — the stable figures must agree between the
+// two surfaces.
+func TestHealthzMetricsAgree(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 3, QueueDepth: 5})
+	if _, jr := postJSON(t, ts, "/v1/runs?wait=1", runBody); jr.Status != "done" {
+		t.Fatalf("run failed: %s", jr.Error)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(hz.Body).Decode(&health)
+	hz.Body.Close()
+	text := metricsText(t, ts)
+	for metric, key := range map[string]string{
+		"vpgad_workers":        "workers",
+		"vpgad_queue_capacity": "queue_capacity",
+		"vpgad_queue_depth":    "queue_depth",
+		"vpgad_jobs_running":   "jobs_running",
+		"vpgad_cache_entries":  "cache_entries",
+	} {
+		got, ok := metricValue(text, metric)
+		if !ok {
+			t.Fatalf("metrics missing %s:\n%s", metric, text)
+		}
+		want, ok := health[key].(float64)
+		if !ok {
+			t.Fatalf("healthz missing %q: %v", key, health)
+		}
+		if got != want {
+			t.Errorf("%s = %g but healthz %s = %g", metric, got, key, want)
+		}
+	}
+}
+
+// metricsText fetches /metrics.
+func metricsText(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.String()
+}
+
+// metricValue finds a plain (unlabeled) sample in Prometheus text.
+func metricValue(text, name string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+// TestMetricsHistograms: after a completed job, /metrics exposes
+// well-formed Prometheus histograms — a full le-ordered cumulative
+// _bucket ladder ending at +Inf, with _sum and _count agreeing.
+func TestMetricsHistograms(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if _, jr := postJSON(t, ts, "/v1/runs?wait=1", runBody); jr.Status != "done" {
+		t.Fatalf("run failed: %s", jr.Error)
+	}
+	text := metricsText(t, ts)
+
+	for _, name := range []string{"vpgad_job_duration_seconds", "vpgad_job_queue_wait_seconds"} {
+		if !strings.Contains(text, "# TYPE "+name+" histogram") {
+			t.Fatalf("%s not declared as histogram:\n%s", name, text)
+		}
+		var buckets []float64
+		inf := false
+		for _, line := range strings.Split(text, "\n") {
+			if !strings.HasPrefix(line, name+"_bucket{le=") {
+				continue
+			}
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", line, err)
+			}
+			buckets = append(buckets, v)
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = true
+			}
+		}
+		if len(buckets) != 21 || !inf {
+			t.Fatalf("%s: %d bucket lines (inf=%v), want 21 ending at +Inf", name, len(buckets), inf)
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] < buckets[i-1] {
+				t.Fatalf("%s buckets not cumulative: %v", name, buckets)
+			}
+		}
+		count, ok := metricValue(text, name+"_count")
+		if !ok || count != 1 {
+			t.Fatalf("%s_count = %g (found=%v), want 1", name, count, ok)
+		}
+		if buckets[len(buckets)-1] != count {
+			t.Fatalf("%s +Inf bucket %g != count %g", name, buckets[len(buckets)-1], count)
+		}
+		if !strings.Contains(text, name+"_sum ") {
+			t.Fatalf("%s_sum missing", name)
+		}
+	}
+	// The per-stage family carries the stage label.
+	for _, want := range []string{
+		"# TYPE vpgad_stage_duration_seconds histogram",
+		`vpgad_stage_duration_seconds_bucket{stage="place",le="+Inf"}`,
+		`vpgad_stage_duration_seconds_count{stage="route"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("stage histogram missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestEventsSSE: GET /v1/runs/{id}/events streams the job's telemetry
+// live. The stream is attached while the job is held before producing
+// any events, so every event read below arrived over the open
+// connection, not from a replay of a finished job.
+func TestEventsSSE(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	_, ts := newTestServer(t, Options{
+		Workers: 1,
+		testJobStart: func(j *job) {
+			started <- struct{}{}
+			<-release
+		},
+	})
+	resp, jr := postJSON(t, ts, "/v1/runs", runBody)
+	if resp.StatusCode != http.StatusAccepted || jr.ID == "" {
+		t.Fatalf("submit: status %d id %q", resp.StatusCode, jr.ID)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+	es, err := http.Get(ts.URL + "/v1/runs/" + jr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	if es.StatusCode != http.StatusOK || !strings.HasPrefix(es.Header.Get("Content-Type"), "text/event-stream") {
+		t.Fatalf("stream: status %d content-type %q", es.StatusCode, es.Header.Get("Content-Type"))
+	}
+	close(release)
+
+	types := map[string]int{}
+	var lastData string
+	sc := bufio.NewScanner(es.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			lastData = strings.TrimPrefix(line, "data: ")
+		}
+		if !strings.HasPrefix(line, "event: ") {
+			continue
+		}
+		typ := strings.TrimPrefix(line, "event: ")
+		types[typ]++
+		if typ == "done" {
+			// Its data line follows; read it, then stop.
+			for sc.Scan() {
+				if d := sc.Text(); strings.HasPrefix(d, "data: ") {
+					lastData = strings.TrimPrefix(d, "data: ")
+					break
+				}
+			}
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if types["run_start"] == 0 || types["stage_start"] == 0 || types["stage_end"] == 0 {
+		t.Fatalf("stream missing stage events: %v", types)
+	}
+	if types["done"] != 1 || !strings.Contains(lastData, `"done"`) {
+		t.Fatalf("stream did not close with terminal status: %v, last data %q", types, lastData)
+	}
+	// An unknown job is a 404, not an empty stream.
+	nf, err := http.Get(ts.URL + "/v1/runs/j999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job events: status %d, want 404", nf.StatusCode)
+	}
+}
+
+// TestJobTimeoutCounter: a job that dies on its wall-clock budget
+// counts on vpgad_jobs_timeout_total as well as jobs_failed_total.
+func TestJobTimeoutCounter(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, JobTimeout: time.Nanosecond})
+	_, jr := postJSON(t, ts, "/v1/runs?wait=1", runBody)
+	if jr.Status != "failed" {
+		t.Fatalf("job with 1ns budget finished %q", jr.Status)
+	}
+	if s.failed.Load() != 1 || s.timeouts.Load() != 1 {
+		t.Fatalf("failed/timeout counters: %d/%d, want 1/1", s.failed.Load(), s.timeouts.Load())
+	}
+	if v, ok := metricValue(metricsText(t, ts), "vpgad_jobs_timeout_total"); !ok || v != 1 {
+		t.Fatalf("vpgad_jobs_timeout_total = %g (found=%v), want 1", v, ok)
+	}
+}
+
+// TestCacheEvictionCounter: LRU capacity evictions surface on
+// vpgad_cache_evictions_total.
+func TestCacheEvictionCounter(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, CacheSize: 1})
+	for seed := 31; seed <= 32; seed++ {
+		body := fmt.Sprintf(`{"design":"alu","seed":%d}`, seed)
+		if _, jr := postJSON(t, ts, "/v1/runs?wait=1", body); jr.Status != "done" {
+			t.Fatalf("seed %d failed: %s", seed, jr.Error)
+		}
+	}
+	if s.cache.evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.cache.evictions())
+	}
+	if v, ok := metricValue(metricsText(t, ts), "vpgad_cache_evictions_total"); !ok || v != 1 {
+		t.Fatalf("vpgad_cache_evictions_total = %g (found=%v), want 1", v, ok)
+	}
+}
+
+// TestRunLedgerAppend: with LedgerPath set, each completed run appends
+// one QoR record carrying the request's cache key; cache hits do not
+// append, and append failures count without failing the job.
+func TestRunLedgerAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	s, ts := newTestServer(t, Options{Workers: 1, LedgerPath: path})
+
+	_, jr := postJSON(t, ts, "/v1/runs?wait=1", runBody)
+	if jr.Status != "done" {
+		t.Fatalf("run failed: %s", jr.Error)
+	}
+	recs, err := qor.Read(path)
+	if err != nil {
+		t.Fatalf("read ledger: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("ledger has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Bench != "alu" || rec.Seed != 7 || rec.Key != jr.Key {
+		t.Fatalf("record identity wrong: %+v (key want %q)", rec, jr.Key)
+	}
+	if rec.DelayPS <= 0 || rec.Time == "" || rec.StageSeconds == nil {
+		t.Fatalf("record incomplete: %+v", rec)
+	}
+	if s.ledgerRecords.Load() != 1 || s.ledgerErrors.Load() != 0 {
+		t.Fatalf("ledger counters: %d/%d", s.ledgerRecords.Load(), s.ledgerErrors.Load())
+	}
+	// A cache hit runs no job, so nothing more is appended.
+	if _, hit := postJSON(t, ts, "/v1/runs?wait=1", runBody); !hit.Cached {
+		t.Fatal("resubmission missed the cache")
+	}
+	if recs, _ = qor.Read(path); len(recs) != 1 {
+		t.Fatalf("cache hit appended to the ledger: %d records", len(recs))
+	}
+
+	// An unwritable ledger path counts an error and leaves the job done.
+	blocked := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocked, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, Options{Workers: 1,
+		LedgerPath: filepath.Join(blocked, "ledger.jsonl")})
+	if _, jr := postJSON(t, ts2, "/v1/runs?wait=1", runBody); jr.Status != "done" {
+		t.Fatalf("run with broken ledger failed: %s", jr.Error)
+	}
+	if s2.ledgerErrors.Load() != 1 || s2.ledgerRecords.Load() != 0 {
+		t.Fatalf("broken-ledger counters: %d errors / %d records",
+			s2.ledgerErrors.Load(), s2.ledgerRecords.Load())
 	}
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Run the key benchmarks (annealing move throughput, global routing,
+# the end-to-end matrix, Table 1 die area) and emit one machine-readable
+# trajectory point for the BENCH_*.json perf history.
+#
+# Usage: scripts/bench.sh [out.json]        (default: BENCH_5.json)
+#   BENCH_PATTERN  override the -bench regexp
+#   BENCH_TIME     override -benchtime (default 1s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+pattern="${BENCH_PATTERN:-AnnealMoves|GlobalRouting|MatrixParallel|Table1DieArea}"
+benchtime="${BENCH_TIME:-1s}"
+
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count 1 .)
+printf '%s\n' "$raw" >&2
+
+{
+  echo "{"
+  echo "  \"schema\": 1,"
+  echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"benchtime\": \"$benchtime\","
+  echo "  \"benchmarks\": ["
+  printf '%s\n' "$raw" | awk '
+    BEGIN { sep = "" }
+    /^Benchmark/ {
+      printf "%s", sep
+      printf "    {\"name\":\"%s\",\"iterations\":%s", $1, $2
+      for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub("/", "_per_", unit)
+        gsub("%", "pct_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        gsub(/_+/, "_", unit)
+        sub(/_$/, "", unit)
+        printf ",\"%s\":%s", unit, $i
+      }
+      printf "}"
+      sep = ",\n"
+    }
+    END { print "" }'
+  echo "  ]"
+  echo "}"
+} > "$out"
+
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.benchmarks | length > 0' "$out" >/dev/null
+fi
+echo "wrote $out" >&2
