@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench qor-baseline qor-diff
+.PHONY: all build test vet race bench bench-diff qor-baseline qor-diff
 
 all: build test
 
@@ -17,9 +17,15 @@ race:
 	$(GO) test -race ./...
 
 # Run the key benchmarks and refresh the machine-readable trajectory
-# point (BENCH_5.json). BENCH_TIME=200ms make bench for a quick pass.
+# point (BENCH_6.json). BENCH_TIME=200ms make bench for a quick pass.
 bench:
 	scripts/bench.sh
+
+# Quick perf check against the latest committed trajectory point: runs
+# the key benchmarks into a scratch file and prints the delta table
+# without touching the committed BENCH_*.json history.
+bench-diff:
+	BENCH_TIME=$${BENCH_TIME:-200ms} scripts/bench.sh .bench-head.json
 
 # Regenerate the committed QoR baseline from a fresh gate run.
 qor-baseline:

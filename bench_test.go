@@ -256,6 +256,10 @@ func BenchmarkPlacementAnneal(b *testing.B) {
 // moves/s metric is the one to watch in the bench trajectory.
 func BenchmarkAnnealMoves(b *testing.B) {
 	prob, _, _ := placedProblem(b)
+	// Drop the garbage earlier benchmarks left behind so the measured
+	// region sees this kernel's own GC behavior, not theirs.
+	runtime.GC()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		prob.Anneal(place.Options{Seed: int64(i), MovesPerObj: 8})
@@ -268,9 +272,13 @@ func BenchmarkAnnealMoves(b *testing.B) {
 func BenchmarkGlobalRouting(b *testing.B) {
 	prob, _, _ := placedProblem(b)
 	prob.Anneal(place.Options{Seed: 1, MovesPerObj: 4})
+	// Iterations share one State pool, as matrix and sweep runs do;
+	// pooled results are bit-identical to cold ones.
+	pool := route.NewPool()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := route.Route(prob, route.Options{}); err != nil {
+		if _, err := route.Route(prob, route.Options{Pool: pool}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"vpga/internal/bench"
 	"vpga/internal/cells"
+	"vpga/internal/route"
 )
 
 // DomainResult reports, for one application domain (benchmark design),
@@ -41,6 +42,7 @@ func DomainExplore(ctx context.Context, domains []bench.Design, archs []*cells.P
 // on opts.Parallel workers; results are deterministic at any width.
 func RunDomainExplore(ctx context.Context, domains []bench.Design, archs []*cells.PLBArch, opts SweepOptions) ([]DomainResult, error) {
 	var out []DomainResult
+	pool := route.NewPool()
 	for _, d := range domains {
 		res := DomainResult{Domain: d.Name, Points: make([]SweepPoint, len(archs))}
 		if len(archs) == 0 {
@@ -49,7 +51,8 @@ func RunDomainExplore(ctx context.Context, domains []bench.Design, archs []*cell
 		}
 		point := func(arch *cells.PLBArch, clock float64) (SweepPoint, float64, float64, error) {
 			run := opts.Trace.NewRun("domain/" + d.Name + "/" + arch.Name)
-			rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: opts.Seed, Trace: run})
+			rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock,
+				Seed: opts.Seed, PlaceWorkers: opts.PlaceWorkers, Trace: run, routePool: pool})
 			run.Close()
 			if err != nil {
 				return SweepPoint{}, 0, 0, fmt.Errorf("domain %s on %s: %w", d.Name, arch.Name, err)

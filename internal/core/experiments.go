@@ -16,6 +16,7 @@ import (
 	"vpga/internal/defect"
 	"vpga/internal/logic"
 	"vpga/internal/obs"
+	"vpga/internal/route"
 )
 
 // Matrix holds the full 4-design × 2-architecture × 2-flow experiment
@@ -35,7 +36,10 @@ type Matrix struct {
 type MatrixOptions struct {
 	Seed        int64
 	PlaceEffort int
-	Verify      bool
+	// PlaceWorkers sets each run's annealer worker count (see
+	// Config.PlaceWorkers); reports are bit-identical at any setting.
+	PlaceWorkers int
+	Verify       bool
 	// Parallel bounds the number of concurrently executing flow runs:
 	// 0 uses GOMAXPROCS, 1 forces fully sequential execution. For a
 	// fixed seed the resulting reports are identical at any setting —
@@ -225,6 +229,10 @@ func RunMatrix(ctx context.Context, suite bench.Suite, opts MatrixOptions) (*Mat
 	}
 	m := &Matrix{Designs: suite.All(), Reports: map[string]map[string]map[string]*Report{}}
 	archs := []*cells.PLBArch{cells.GranularPLB(), cells.LUTPLB()}
+	// All cells share one router-state pool: the grids are similarly
+	// shaped, so after warm-up each run checks out ready-sized scratch
+	// instead of allocating it. Reuse never changes reports.
+	pool := route.NewPool()
 
 	// Report maps are pre-built sequentially so workers only write leaf
 	// entries (under mu).
@@ -274,8 +282,9 @@ func RunMatrix(ctx context.Context, suite bench.Suite, opts MatrixOptions) (*Mat
 		mu.Unlock()
 		cfg := Config{
 			Arch: arch, Flow: flow, ClockPeriod: clock,
-			Seed: opts.Seed, PlaceEffort: opts.PlaceEffort, Verify: opts.Verify,
-			Defects: opts.Defects, RepairBudget: opts.RepairBudget,
+			Seed: opts.Seed, PlaceEffort: opts.PlaceEffort, PlaceWorkers: opts.PlaceWorkers,
+			Verify: opts.Verify, Defects: opts.Defects, RepairBudget: opts.RepairBudget,
+			routePool: pool,
 		}
 		if bail {
 			skip(ticket)
@@ -611,6 +620,9 @@ type SweepOptions struct {
 	// parallelizes (0 = GOMAXPROCS, 1 = sequential). Results are
 	// bit-identical at any setting.
 	Parallel int
+	// PlaceWorkers sets each run's annealer worker count (see
+	// Config.PlaceWorkers); results are bit-identical at any setting.
+	PlaceWorkers int
 	// Trace, when set, records every sweep run's stage spans and solver
 	// counters (see internal/obs). Tracing never changes results.
 	Trace *obs.Tracer
@@ -640,9 +652,11 @@ func RunGranularitySweep(ctx context.Context, d bench.Design, archs []*cells.PLB
 	if len(archs) == 0 {
 		return nil, nil
 	}
+	pool := route.NewPool()
 	point := func(arch *cells.PLBArch, clock float64) (SweepPoint, float64, error) {
 		run := opts.Trace.NewRun("sweep/" + d.Name + "/" + arch.Name)
-		rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock, Seed: opts.Seed, Trace: run})
+		rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock,
+			Seed: opts.Seed, PlaceWorkers: opts.PlaceWorkers, Trace: run, routePool: pool})
 		run.Close()
 		if err != nil {
 			return SweepPoint{}, 0, fmt.Errorf("sweep %s: %w", arch.Name, err)

@@ -60,6 +60,12 @@ type Config struct {
 	Seed        int64
 	// PlaceEffort scales annealing moves per object (default 6).
 	PlaceEffort int
+	// PlaceWorkers sets the annealer's worker count (0 or 1 =
+	// single-threaded). Reports are bit-identical at any setting — the
+	// annealer's parallel kernel is deterministic — so this is a pure
+	// throughput knob: it never enters FlowRequest or the report cache
+	// key.
+	PlaceWorkers int
 	// SkipCompaction disables the regularity-driven compaction step
 	// (ablation E4).
 	SkipCompaction bool
@@ -87,6 +93,12 @@ type Config struct {
 	// untraced one after StripMetrics. Nil disables tracing at zero
 	// hot-path cost.
 	Trace *obs.Run
+	// routePool, when set, lends the router reusable working memory
+	// (usage/history arrays, A* scratch) for the run. The experiment
+	// drivers share one pool across their runs; results are
+	// bit-identical with or without it, so like PlaceWorkers it stays
+	// out of the request cache key.
+	routePool *route.Pool
 }
 
 // Report collects every figure of merit a flow run produces.
@@ -376,7 +388,7 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	}
 	err = prob.Anneal(place.Options{
 		Seed: cfg.Seed, MovesPerObj: cfg.PlaceEffort, Ctx: ctx,
-		Trace: cfg.Trace.Anneal(),
+		Workers: cfg.PlaceWorkers, Trace: cfg.Trace.Anneal(),
 	})
 	end()
 	if err != nil {
@@ -440,7 +452,7 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	// via faults from the defect map constrain the search graph.
 	ropts := route.Options{
 		Ctx: ctx, CapacityScale: cfg.RouteCapacityScale, CellsScale: cfg.RouteCellsScale,
-		Trace: cfg.Trace.Route(),
+		Pool: cfg.routePool, Trace: cfg.Trace.Route(),
 	}
 	if cfg.Defects != nil {
 		ropts.Faults = cfg.Defects

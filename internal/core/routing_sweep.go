@@ -40,13 +40,18 @@ func RoutingSweep(ctx context.Context, d bench.Design, arch *cells.PLBArch, capa
 func RunRoutingSweep(ctx context.Context, d bench.Design, arch *cells.PLBArch, capacities []int, opts SweepOptions) ([]RoutingPoint, error) {
 	run := opts.Trace.NewRun("routing/" + d.Name + "/" + arch.Name)
 	defer run.Close()
-	rep, art, err := RunFlowFull(ctx, d, Config{Arch: arch, Flow: FlowB, Seed: opts.Seed, Trace: run})
+	// One pool serves the flow run and every capacity point: the grid
+	// shape never changes, so all routes after the first reuse one
+	// ready-sized State.
+	pool := route.NewPool()
+	rep, art, err := RunFlowFull(ctx, d, Config{Arch: arch, Flow: FlowB, Seed: opts.Seed,
+		PlaceWorkers: opts.PlaceWorkers, Trace: run, routePool: pool})
 	if err != nil {
 		return nil, err
 	}
 	var out []RoutingPoint
 	for _, cap := range capacities {
-		routes, err := route.Route(art.Prob, route.Options{Capacity: cap, Ctx: ctx})
+		routes, err := route.Route(art.Prob, route.Options{Capacity: cap, Ctx: ctx, Pool: pool})
 		if err != nil {
 			return nil, fmt.Errorf("routing sweep capacity %d: %w", cap, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"vpga/internal/cells"
 	"vpga/internal/defect"
 	"vpga/internal/obs"
+	"vpga/internal/route"
 )
 
 // YieldPoint is the outcome of one defect map in a yield sweep.
@@ -69,6 +70,9 @@ func DefectYield(ctx context.Context, d bench.Design, arch *cells.PLBArch, opts 
 	}
 	res := &YieldResult{Design: d.Name, Arch: arch.Name, Rate: opts.Rate,
 		Points: make([]YieldPoint, opts.Maps), Budget: budget}
+	// Every map's runs (repair escalations included) share one
+	// router-state pool; reuse never changes which maps route.
+	pool := route.NewPool()
 
 	var (
 		sem    = make(chan struct{}, par)
@@ -90,6 +94,7 @@ func DefectYield(ctx context.Context, d bench.Design, arch *cells.PLBArch, opts 
 				rep, err := supervisedRun(ctx, d, Config{
 					Arch: arch, Flow: FlowB, Seed: opts.FlowSeed,
 					Defects: dm, RepairBudget: budget, Trace: run,
+					routePool: pool,
 				}, 0)
 				run.Close()
 				if err != nil {

@@ -7,6 +7,14 @@ package place
 // when the sole object holding that boundary moves inward, exactly the
 // case where the new boundary is unknowable without a scan.
 //
+// The kernel runs entirely on a flat SoA mirror of the problem —
+// contiguous coordinate arrays (x, y), per-net weights (netW), and the
+// net↔object adjacency in CSR form (pinIdx/pinOff, objNetIdx/
+// objNetOff) — so a boundary scan streams over packed float64/int32
+// arrays instead of chasing through 100-byte Obj structs. Obj.X/Y stay
+// the external interface: initBoxes resyncs the mirror from them, and
+// every committed move writes both.
+//
 // The cached boxes store the same float64 coordinates a scratch scan
 // would select (boundaries are selections, never arithmetic), so the
 // cached cost matches Problem.HPWL() bit for bit; the place tests
@@ -90,17 +98,95 @@ func updMin(min *float64, n *int32, old, new float64) bool {
 	return true
 }
 
+// buildCSR packs the net↔object adjacency and the coordinate/weight
+// mirrors into the flat SoA arrays the kernel runs on. Build calls it
+// once; the adjacency never changes afterwards.
+func (p *Problem) buildCSR() {
+	p.pinOff = make([]int32, len(p.Nets)+1)
+	total := 0
+	for ni := range p.Nets {
+		p.pinOff[ni] = int32(total)
+		total += len(p.Nets[ni].Objs)
+	}
+	p.pinOff[len(p.Nets)] = int32(total)
+	p.pinIdx = make([]int32, total)
+	for ni := range p.Nets {
+		copy(p.pinIdx[p.pinOff[ni]:], p.Nets[ni].Objs)
+	}
+
+	p.objNetOff = make([]int32, len(p.Objs)+1)
+	total = 0
+	for oi := range p.Objs {
+		p.objNetOff[oi] = int32(total)
+		total += len(p.Objs[oi].nets)
+	}
+	p.objNetOff[len(p.Objs)] = int32(total)
+	p.objNetIdx = make([]int32, total)
+	for oi := range p.Objs {
+		copy(p.objNetIdx[p.objNetOff[oi]:], p.Objs[oi].nets)
+	}
+
+	p.x = make([]float64, len(p.Objs))
+	p.y = make([]float64, len(p.Objs))
+	p.netW = make([]float64, len(p.Nets))
+	p.syncSoA()
+}
+
+// syncSoA refreshes the coordinate and weight mirrors from the
+// authoritative Obj/Net fields (which external callers — the packer,
+// force-directed passes — mutate directly).
+func (p *Problem) syncSoA() {
+	for i := range p.Objs {
+		p.x[i] = p.Objs[i].X
+		p.y[i] = p.Objs[i].Y
+	}
+	for i := range p.Nets {
+		p.netW[i] = p.Nets[i].Weight
+	}
+}
+
+// objNets returns object oi's incident nets from the CSR adjacency.
+func (p *Problem) objNets(oi int32) []int32 {
+	return p.objNetIdx[p.objNetOff[oi]:p.objNetOff[oi+1]]
+}
+
+// netPins returns net ni's member objects from the CSR adjacency.
+func (p *Problem) netPins(ni int32) []int32 {
+	return p.pinIdx[p.pinOff[ni]:p.pinOff[ni+1]]
+}
+
 // computeBox scans net ni from scratch.
 func (p *Problem) computeBox(ni int32) netBox {
-	n := &p.Nets[ni]
-	first := &p.Objs[n.Objs[0]]
+	pins := p.netPins(ni)
+	first := pins[0]
+	x0, y0 := p.x[first], p.y[first]
 	b := netBox{
-		xMin: first.X, xMax: first.X, yMin: first.Y, yMax: first.Y,
+		xMin: x0, xMax: x0, yMin: y0, yMax: y0,
 		xMinN: 1, xMaxN: 1, yMinN: 1, yMaxN: 1,
 	}
-	for _, oi := range n.Objs[1:] {
-		o := &p.Objs[oi]
-		b.addPoint(o.X, o.Y)
+	for _, oi := range pins[1:] {
+		b.addPoint(p.x[oi], p.y[oi])
+	}
+	return b
+}
+
+// computeBoxAt scans net ni from scratch with object oi evaluated at a
+// tentative position (nx, ny) — the low-degree fast path of
+// displacedBox, where a full rebuild is cheaper than four incremental
+// boundary updates with their rescan fallbacks.
+func (p *Problem) computeBoxAt(ni, oi int32, nx, ny float64) netBox {
+	var b netBox
+	for k, oj := range p.netPins(ni) {
+		x, y := nx, ny
+		if oj != oi {
+			x, y = p.x[oj], p.y[oj]
+		}
+		if k == 0 {
+			b = netBox{xMin: x, xMax: x, yMin: y, yMax: y,
+				xMinN: 1, xMaxN: 1, yMinN: 1, yMaxN: 1}
+			continue
+		}
+		b.addPoint(x, y)
 	}
 	return b
 }
@@ -112,11 +198,11 @@ func (p *Problem) computeBox(ni int32) netBox {
 
 func (p *Problem) scanXMin(ni, oi int32, nx float64) (float64, int32) {
 	min, cnt := nx, int32(1)
-	for _, oj := range p.Nets[ni].Objs {
+	for _, oj := range p.netPins(ni) {
 		if oj == oi {
 			continue
 		}
-		if v := p.Objs[oj].X; v < min {
+		if v := p.x[oj]; v < min {
 			min, cnt = v, 1
 		} else if v == min {
 			cnt++
@@ -127,11 +213,11 @@ func (p *Problem) scanXMin(ni, oi int32, nx float64) (float64, int32) {
 
 func (p *Problem) scanXMax(ni, oi int32, nx float64) (float64, int32) {
 	max, cnt := nx, int32(1)
-	for _, oj := range p.Nets[ni].Objs {
+	for _, oj := range p.netPins(ni) {
 		if oj == oi {
 			continue
 		}
-		if v := p.Objs[oj].X; v > max {
+		if v := p.x[oj]; v > max {
 			max, cnt = v, 1
 		} else if v == max {
 			cnt++
@@ -142,11 +228,11 @@ func (p *Problem) scanXMax(ni, oi int32, nx float64) (float64, int32) {
 
 func (p *Problem) scanYMin(ni, oi int32, ny float64) (float64, int32) {
 	min, cnt := ny, int32(1)
-	for _, oj := range p.Nets[ni].Objs {
+	for _, oj := range p.netPins(ni) {
 		if oj == oi {
 			continue
 		}
-		if v := p.Objs[oj].Y; v < min {
+		if v := p.y[oj]; v < min {
 			min, cnt = v, 1
 		} else if v == min {
 			cnt++
@@ -157,11 +243,11 @@ func (p *Problem) scanYMin(ni, oi int32, ny float64) (float64, int32) {
 
 func (p *Problem) scanYMax(ni, oi int32, ny float64) (float64, int32) {
 	max, cnt := ny, int32(1)
-	for _, oj := range p.Nets[ni].Objs {
+	for _, oj := range p.netPins(ni) {
 		if oj == oi {
 			continue
 		}
-		if v := p.Objs[oj].Y; v > max {
+		if v := p.y[oj]; v > max {
 			max, cnt = v, 1
 		} else if v == max {
 			cnt++
@@ -170,33 +256,73 @@ func (p *Problem) scanYMax(ni, oi int32, ny float64) (float64, int32) {
 	return max, cnt
 }
 
-// initBoxes (re)builds every cached box from current positions. Callers
-// that move objects outside tryMove (force-directed passes, the packer)
-// must rebuild before incremental moves resume.
+// initBoxes (re)builds every cached box from current positions, after
+// refreshing the SoA mirror from the authoritative Obj fields. Callers
+// that move objects outside the annealing engine (force-directed
+// passes, the packer) must rebuild before incremental moves resume.
+// boxCostW caches each net's weighted cost (netW·hpwl) alongside, so
+// move evaluation subtracts a single cached float instead of reloading
+// the old box.
 func (p *Problem) initBoxes() {
+	p.syncSoA()
 	if cap(p.boxes) < len(p.Nets) {
 		p.boxes = make([]netBox, len(p.Nets))
+		p.boxCostW = make([]float64, len(p.Nets))
 	}
 	p.boxes = p.boxes[:len(p.Nets)]
+	p.boxCostW = p.boxCostW[:len(p.Nets)]
 	for ni := range p.Nets {
-		p.boxes[ni] = p.computeBox(int32(ni))
+		b := p.computeBox(int32(ni))
+		p.boxes[ni] = b
+		p.boxCostW[ni] = p.netW[ni] * b.hpwl()
 	}
 }
 
 // boxHPWL is the total weighted HPWL read from the cached boxes.
 func (p *Problem) boxHPWL() float64 {
 	total := 0.0
-	for i := range p.Nets {
-		total += p.Nets[i].Weight * p.boxes[i].hpwl()
+	for i := range p.boxes {
+		total += p.netW[i] * p.boxes[i].hpwl()
 	}
 	return total
 }
 
+// box2 builds a two-point box directly. The box fold is
+// order-independent (boundaries are min/max selections, counts are
+// boundary multiplicities), so this matches computeBox bit for bit
+// whichever pin came first.
+func box2(x0, y0, x1, y1 float64) netBox {
+	b := netBox{xMin: x0, xMax: x0, yMin: y0, yMax: y0,
+		xMinN: 1, xMaxN: 1, yMinN: 1, yMaxN: 1}
+	b.addPoint(x1, y1)
+	return b
+}
+
 // displacedBox returns net ni's box after object oi moves (ox,oy) →
 // (nx,ny): each boundary is updated incrementally and only a broken one
-// is rescanned. The object's stored position is never read — rescans
-// substitute (nx,ny) for oi — so the caller may leave it at (ox,oy).
+// is rescanned; nets of ≤3 pins skip straight to a scratch rebuild,
+// which is cheaper than four boundary updates at that size — and the
+// dominant 2-pin case never touches the cached box at all. The
+// object's stored position is never read — rescans substitute (nx,ny)
+// for oi — so the caller may leave it at (ox,oy).
 func (p *Problem) displacedBox(ni, oi int32, ox, oy, nx, ny float64) netBox {
+	if p.pinOff[ni+1]-p.pinOff[ni] == 2 {
+		pins := p.netPins(ni)
+		oo := pins[0]
+		if oo == oi {
+			oo = pins[1]
+		}
+		return box2(nx, ny, p.x[oo], p.y[oo])
+	}
+	return p.displacedBoxWide(ni, oi, ox, oy, nx, ny)
+}
+
+// displacedBoxWide is displacedBox for nets of ≥3 pins (the annealing
+// engine dispatches the 2-pin case itself, without building a box).
+func (p *Problem) displacedBoxWide(ni, oi int32, ox, oy, nx, ny float64) netBox {
+	if p.pinOff[ni+1]-p.pinOff[ni] == 3 {
+		return p.computeBoxAt(ni, oi, nx, ny)
+	}
 	nb := p.boxes[ni]
 	if !updMin(&nb.xMin, &nb.xMinN, ox, nx) {
 		nb.xMin, nb.xMinN = p.scanXMin(ni, oi, nx)
@@ -217,10 +343,10 @@ func (p *Problem) displacedBox(ni, oi int32, ox, oy, nx, ny float64) netBox {
 // each other's stored positions (nets shared by both ends of a swap,
 // where the incremental path cannot apply).
 func (p *Problem) computeBoxSwapped(ni, oi, oj int32) netBox {
-	xi, yi := p.Objs[oj].X, p.Objs[oj].Y
-	xj, yj := p.Objs[oi].X, p.Objs[oi].Y
+	xi, yi := p.x[oj], p.y[oj]
+	xj, yj := p.x[oi], p.y[oi]
 	var b netBox
-	for k, oo := range p.Nets[ni].Objs {
+	for k, oo := range p.netPins(ni) {
 		var x, y float64
 		switch oo {
 		case oi:
@@ -228,7 +354,7 @@ func (p *Problem) computeBoxSwapped(ni, oi, oj int32) netBox {
 		case oj:
 			x, y = xj, yj
 		default:
-			x, y = p.Objs[oo].X, p.Objs[oo].Y
+			x, y = p.x[oo], p.y[oo]
 		}
 		if k == 0 {
 			b = netBox{xMin: x, xMax: x, yMin: y, yMax: y,
@@ -241,20 +367,25 @@ func (p *Problem) computeBoxSwapped(ni, oi, oj int32) netBox {
 }
 
 // displaceDelta returns the weighted-HPWL change of moving object oi to
-// (nx, ny) without touching any state; the tentative boxes of the
-// object's nets are left in p.tentBoxes for commitDisplace.
+// (nx, ny) without touching any state; the tentative boxes and costs of
+// the object's nets are left in p.tentBoxes/p.tentCosts for
+// commitDisplace.
 func (p *Problem) displaceDelta(oi int32, nx, ny float64) float64 {
-	o := &p.Objs[oi]
-	ox, oy := o.X, o.Y
-	if cap(p.tentBoxes) < len(o.nets) {
-		p.tentBoxes = make([]netBox, len(o.nets))
+	ox, oy := p.x[oi], p.y[oi]
+	nets := p.objNets(oi)
+	if cap(p.tentBoxes) < len(nets) {
+		p.tentBoxes = make([]netBox, len(nets))
+		p.tentCosts = make([]float64, len(nets))
 	}
-	p.tentBoxes = p.tentBoxes[:len(o.nets)]
+	p.tentBoxes = p.tentBoxes[:len(nets)]
+	p.tentCosts = p.tentCosts[:len(nets)]
 	delta := 0.0
-	for k, ni := range o.nets {
+	for k, ni := range nets {
 		nb := p.displacedBox(ni, oi, ox, oy, nx, ny)
+		c := p.netW[ni] * nb.hpwl()
 		p.tentBoxes[k] = nb
-		delta += p.Nets[ni].Weight * (nb.hpwl() - p.boxes[ni].hpwl())
+		p.tentCosts[k] = c
+		delta += c - p.boxCostW[ni]
 	}
 	return delta
 }
@@ -262,10 +393,11 @@ func (p *Problem) displaceDelta(oi int32, nx, ny float64) float64 {
 // commitDisplace applies the move computed by the immediately preceding
 // displaceDelta call.
 func (p *Problem) commitDisplace(oi int32, nx, ny float64) {
+	p.x[oi], p.y[oi] = nx, ny
 	o := &p.Objs[oi]
 	o.X, o.Y = nx, ny
-	for k, ni := range o.nets {
+	for k, ni := range p.objNets(oi) {
 		p.boxes[ni] = p.tentBoxes[k]
+		p.boxCostW[ni] = p.tentCosts[k]
 	}
 }
-

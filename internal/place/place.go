@@ -44,21 +44,33 @@ type Problem struct {
 	rng     *rand.Rand
 	blocked func(x, y float64) bool // defective sites (nil = clean die)
 
-	// Incremental cost kernel state (see incremental.go) plus scratch
-	// buffers hoisted out of the annealing hot loop.
-	boxes        []netBox
-	tentBoxes    []netBox
-	tentNets     []int32
-	netMark      []int64
-	markEpoch    int64
+	// Incremental cost kernel state (see incremental.go): cached net
+	// boxes plus the flat SoA mirror the kernel runs on — coordinate
+	// and weight arrays and the net↔object adjacency in CSR form.
+	boxes     []netBox
+	boxCostW  []float64 // per-net weighted cost cache (netW·hpwl)
+	tentBoxes []netBox
+	tentCosts []float64
+	x, y      []float64
+	netW      []float64
+	pinIdx    []int32 // net -> member objects, CSR values
+	pinOff    []int32 // net -> member objects, CSR offsets
+	objNetIdx []int32 // object -> incident nets, CSR values
+	objNetOff []int32 // object -> incident nets, CSR offsets
+
+	// Annealing engine scratch (see anneal.go).
+	eng          engineState
 	movableCache []int32
 	stats        Stats
 }
 
 // Stats counts annealer work (proposals and acceptances across every
 // Anneal/Refine call on this problem) for benchmarks and profiling.
+// Skipped counts proposals dropped by the batch conflict rule; it is
+// identical at any worker count, like everything else the annealer
+// produces.
 type Stats struct {
-	Proposed, Accepted int64
+	Proposed, Accepted, Skipped int64
 }
 
 // Stats returns the problem's cumulative annealing counters.
@@ -75,6 +87,12 @@ type Options struct {
 	Seed int64
 	// MovesPerObj scales annealing effort (default 8).
 	MovesPerObj int
+	// Workers sets the number of parallel evaluation workers for the
+	// annealing engine (default 1). Results are bit-identical at any
+	// worker count: moves come from counter-based per-proposal RNG
+	// streams, are evaluated against batch-start state, and commit in
+	// proposal order regardless of which worker evaluated them.
+	Workers int
 	// Outline forces the die dimensions (used when placing into a
 	// fixed PLB array); zero means size from utilization.
 	OutlineW, OutlineH float64
@@ -177,6 +195,7 @@ func Build(nl *netlist.Netlist, area AreaFunc, opts Options) (*Problem, error) {
 			p.Objs[oi].nets = append(p.Objs[oi].nets, int32(ni))
 		}
 	}
+	p.buildCSR()
 
 	p.placePads()
 	p.randomSpread()
@@ -366,7 +385,15 @@ func (p *Problem) HPWL() float64 {
 }
 
 // SetNetWeight scales net i's cost contribution (timing criticality).
-func (p *Problem) SetNetWeight(i int, w float64) { p.Nets[i].Weight = w }
+func (p *Problem) SetNetWeight(i int, w float64) {
+	p.Nets[i].Weight = w
+	if p.netW != nil {
+		p.netW[i] = w
+	}
+	if i < len(p.boxCostW) {
+		p.boxCostW[i] = w * p.boxes[i].hpwl()
+	}
+}
 
 // Anneal runs the global simulated-annealing placement. When
 // opts.Ctx is cancelled the anneal stops at the next pass boundary and
@@ -377,6 +404,10 @@ func (p *Problem) SetNetWeight(i int, w float64) { p.Nets[i].Weight = w }
 func (p *Problem) Anneal(opts Options) error {
 	if opts.MovesPerObj == 0 {
 		opts.MovesPerObj = 8
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
 	}
 	if opts.Blocked != nil {
 		p.setBlocked(opts.Blocked)
@@ -395,17 +426,20 @@ func (p *Problem) Anneal(opts Options) error {
 	temp := p.estimateInitialTemp(rng, movable) * 0.05
 	window := math.Max(p.W, p.H) * 0.15
 	minTemp := temp * 1e-4
-	for temp > minTemp {
+	e := p.engine(workers)
+	var pool *annealPool
+	if workers > 1 {
+		pool = p.startPool(workers)
+		defer pool.stop()
+	}
+	seedKey := mix64(uint64(opts.Seed))
+	for pass := uint64(1); temp > minTemp; pass++ {
 		if err := ctxErr(opts.Ctx); err != nil {
 			return err
 		}
-		accepted := 0
 		moves := opts.MovesPerObj * len(movable)
-		for m := 0; m < moves; m++ {
-			if p.tryMove(rng, movable, window, temp) {
-				accepted++
-			}
-		}
+		passKey := mix64(seedKey + pass*golden64)
+		accepted, _ := p.runPass(e, pool, workers, passKey, moves, movable, window, temp)
 		opts.Trace.Pass(temp, moves, accepted)
 		rate := float64(accepted) / float64(moves)
 		// VPR-style schedule: cool slower near the critical acceptance
@@ -473,94 +507,6 @@ func (p *Problem) estimateInitialTemp(rng *rand.Rand, movable []int32) float64 {
 		return 1
 	}
 	return 20 * sum / float64(n)
-}
-
-// tryMove proposes a displacement (or swap) and accepts by the
-// Metropolis criterion. Deltas come from the incremental box kernel;
-// valid boxes (initBoxes) are a precondition.
-func (p *Problem) tryMove(rng *rand.Rand, movable []int32, window, temp float64) bool {
-	p.stats.Proposed++
-	oi := movable[rng.Intn(len(movable))]
-	o := &p.Objs[oi]
-	if rng.Intn(8) == 0 {
-		// Swap with another movable object. Nets touching only one end
-		// take the incremental boundary update; only nets shared by
-		// both ends need a full rescan at the swapped positions.
-		oj := movable[rng.Intn(len(movable))]
-		if oi == oj {
-			return false
-		}
-		q := &p.Objs[oj]
-		// A swap moves each object onto the other's site; both targets
-		// must be usable (an endpoint may sit on a defective site if an
-		// external caller parked it there).
-		if p.blocked != nil && (p.blocked(q.X, q.Y) || p.blocked(o.X, o.Y)) {
-			return false
-		}
-		if len(p.netMark) < len(p.Nets) {
-			p.netMark = make([]int64, len(p.Nets))
-		}
-		epoch := p.markEpoch + 1
-		p.markEpoch += 2 // epoch marks oj's nets, epoch+1 marks shared nets already handled
-		for _, ni := range q.nets {
-			p.netMark[ni] = epoch
-		}
-		if need := len(o.nets) + len(q.nets); cap(p.tentBoxes) < need {
-			p.tentBoxes = make([]netBox, need)
-		}
-		p.tentNets = p.tentNets[:0]
-		p.tentBoxes = p.tentBoxes[:0]
-		delta := 0.0
-		for _, ni := range o.nets {
-			var nb netBox
-			if p.netMark[ni] == epoch {
-				nb = p.computeBoxSwapped(ni, oi, oj)
-				p.netMark[ni] = epoch + 1
-			} else {
-				nb = p.displacedBox(ni, oi, o.X, o.Y, q.X, q.Y)
-			}
-			p.tentNets = append(p.tentNets, ni)
-			p.tentBoxes = append(p.tentBoxes, nb)
-			delta += p.Nets[ni].Weight * (nb.hpwl() - p.boxes[ni].hpwl())
-		}
-		for _, ni := range q.nets {
-			if p.netMark[ni] == epoch+1 {
-				continue // shared, handled above
-			}
-			nb := p.displacedBox(ni, oj, q.X, q.Y, o.X, o.Y)
-			p.tentNets = append(p.tentNets, ni)
-			p.tentBoxes = append(p.tentBoxes, nb)
-			delta += p.Nets[ni].Weight * (nb.hpwl() - p.boxes[ni].hpwl())
-		}
-		if p.accept(rng, delta, temp) {
-			o.X, o.Y, q.X, q.Y = q.X, q.Y, o.X, o.Y
-			for k, ni := range p.tentNets {
-				p.boxes[ni] = p.tentBoxes[k]
-			}
-			p.stats.Accepted++
-			return true
-		}
-		return false
-	}
-	nx := clamp(o.X+(rng.Float64()*2-1)*window, 0, p.W)
-	ny := clamp(o.Y+(rng.Float64()*2-1)*window, 0, p.H)
-	if p.blocked != nil && p.blocked(nx, ny) {
-		return false
-	}
-	delta := p.displaceDelta(oi, nx, ny)
-	if p.accept(rng, delta, temp) {
-		p.commitDisplace(oi, nx, ny)
-		p.stats.Accepted++
-		return true
-	}
-	return false
-}
-
-func (p *Problem) accept(rng *rand.Rand, delta, temp float64) bool {
-	if delta <= 0 {
-		return true
-	}
-	return rng.Float64() < math.Exp(-delta/temp)
 }
 
 // Refine runs zero-temperature local improvement with a small window;

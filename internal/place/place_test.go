@@ -195,6 +195,9 @@ func checkBoxes(t *testing.T, p *Problem, when string) {
 		if want := p.computeBox(int32(ni)); p.boxes[ni] != want {
 			t.Fatalf("%s: net %d cached box %+v, scratch %+v", when, ni, p.boxes[ni], want)
 		}
+		if want := p.netW[ni] * p.boxes[ni].hpwl(); p.boxCostW[ni] != want {
+			t.Fatalf("%s: net %d cached cost %v, scratch %v", when, ni, p.boxCostW[ni], want)
+		}
 	}
 	if got, want := p.boxHPWL(), p.HPWL(); got != want {
 		t.Fatalf("%s: cached HPWL %v, scratch %v", when, got, want)
@@ -202,19 +205,18 @@ func checkBoxes(t *testing.T, p *Problem, when string) {
 }
 
 // TestIncrementalBoxesMatchScratch drives the incremental kernel with
-// annealing moves at several temperatures and cross-checks the cached
+// annealing passes at several temperatures and cross-checks the cached
 // boxes against a full recompute after every pass.
 func TestIncrementalBoxesMatchScratch(t *testing.T) {
 	p, _, _ := buildProblem(t, src, 11)
 	p.initBoxes()
 	checkBoxes(t, p, "after init")
-	rng := rand.New(rand.NewSource(42))
 	movable := p.movable()
 	window := math.Max(p.W, p.H) * 0.2
-	for _, temp := range []float64{100, 10, 1, 0.1, 0} {
-		for i := 0; i < 400; i++ {
-			p.tryMove(rng, movable, window, math.Max(temp, 1e-9))
-		}
+	e := p.engine(1)
+	for pi, temp := range []float64{100, 10, 1, 0.1, 0} {
+		passKey := mix64(42 + uint64(pi)*golden64)
+		p.runPass(e, nil, 1, passKey, 400, movable, window, math.Max(temp, 1e-9))
 		checkBoxes(t, p, "after pass")
 	}
 	if st := p.Stats(); st.Proposed < 2000 || st.Accepted == 0 {

@@ -65,6 +65,10 @@ type Options struct {
 	// from the search graph, via-faulted cells penalize their incident
 	// edges. Nil means a clean fabric.
 	Faults FaultModel
+	// Pool, when set, checks the router's working arrays out of a
+	// shared pool instead of allocating them per run (see State).
+	// Pooled and cold runs are bit-identical; nil allocates per run.
+	Pool *Pool
 	// Ctx cancels a running Route at negotiation-iteration boundaries;
 	// nil never cancels. A run that completes without cancellation is
 	// bit-identical to one routed without a context.
@@ -210,29 +214,31 @@ type router struct {
 	prob *place.Problem
 	opts Options
 
-	nx, ny   int
-	binW     float64
-	binH     float64
-	hUse     []int16 // horizontal edges (x,y)→(x+1,y): (nx-1)*ny
-	vUse     []int16 // vertical edges (x,y)→(x,y+1): nx*(ny-1)
-	hHist    []float32
-	vHist    []float32
+	nx, ny int
+	binW   float64
+	binH   float64
+
+	// st holds the working arrays (usage, history, incidence, A*
+	// scratch, tree buffers), possibly checked out from a Pool. hUse
+	// and vUse alias st's arrays for the hot paths: horizontal edges
+	// (x,y)→(x+1,y) number (nx-1)*ny, vertical edges (x,y)→(x,y+1)
+	// number nx*(ny-1).
+	st         *State
+	hUse, vUse []int16
+
 	netEdges [][]edgeRef // edges per net for rip-up
-	netTrees []map[point][]point
+
+	// totalOver mirrors the capacity overflow summed over all edges,
+	// maintained incrementally by addEdge/removeEdge so the
+	// negotiation loop never rescans the usage arrays. The
+	// totalOverflow() scan remains as the test oracle.
+	totalOver int
 
 	// Fabric faults, precomputed per edge from opts.Faults: dead edges
 	// are excluded from the search graph, penalized edges carry a fixed
 	// detour surcharge (via faults). Nil slices mean a clean fabric.
 	hDead, vDead []bool
 	hPen, vPen   []float32
-
-	// A* scratch arrays, reused across calls via epoch stamping.
-	gScore  []float64
-	parent  []int32
-	gStamp  []int32
-	cStamp  []int32
-	epoch   int32
-	scratch pq
 
 	// Current A* search window.
 	winX0, winY0, winX1, winY1 int
@@ -257,18 +263,12 @@ func (r *router) run() (*Result, error) {
 	r.nx, r.ny = r.opts.CellsX, r.opts.CellsY
 	r.binW = r.prob.W / float64(r.nx)
 	r.binH = r.prob.H / float64(r.ny)
-	r.hUse = make([]int16, (r.nx-1)*r.ny)
-	r.vUse = make([]int16, r.nx*(r.ny-1))
-	r.hHist = make([]float32, len(r.hUse))
-	r.vHist = make([]float32, len(r.vUse))
-	cells := r.nx * r.ny
-	r.gScore = make([]float64, cells)
-	r.parent = make([]int32, cells)
-	r.gStamp = make([]int32, cells)
-	r.cStamp = make([]int32, cells)
 	nets := r.prob.Nets
+	r.st = r.opts.Pool.get()
+	defer func() { r.opts.Pool.put(r.st) }()
+	r.st.prepare(r.nx, r.ny, len(nets))
+	r.hUse, r.vUse = r.st.hUse, r.st.vUse
 	r.netEdges = make([][]edgeRef, len(nets))
-	r.netTrees = make([]map[point][]point, len(nets))
 	r.applyFaults()
 
 	presentFactor := 0.5
@@ -276,21 +276,19 @@ func (r *router) run() (*Result, error) {
 	// Negotiation can oscillate: a later rip-up round may end worse
 	// than an earlier one. Keep the lowest-overflow iteration and
 	// restore it at the end, so more iterations never hurt. Snapshots
-	// are cheap: usage arrays are copied, per-net edge/tree containers
-	// are rebuilt (not mutated) on reroute, so their headers are safely
+	// are cheap: usage arrays are copied, per-net edge slices are
+	// rebuilt (not mutated) on reroute, so their headers are safely
 	// shared.
 	bestOver := -1
 	bestIter := 0
 	var bestHUse, bestVUse []int16
 	var bestNetEdges [][]edgeRef
-	var bestNetTrees []map[point][]point
 	snapshot := func(over int) {
 		bestOver = over
 		bestIter = iters
 		bestHUse = append(bestHUse[:0], r.hUse...)
 		bestVUse = append(bestVUse[:0], r.vUse...)
 		bestNetEdges = append(bestNetEdges[:0], r.netEdges...)
-		bestNetTrees = append(bestNetTrees[:0], r.netTrees...)
 	}
 	for iter := 0; iter < r.opts.MaxIters; iter++ {
 		// Cancellation is honored only at iteration boundaries, so a run
@@ -303,16 +301,23 @@ func (r *router) run() (*Result, error) {
 		iters = iter + 1
 		rerouted := 0
 		for ni := range nets {
-			if iter > 0 && !r.netOverflowed(ni) {
+			// The overflow check is deliberately lazy — evaluated when
+			// the loop reaches the net, after earlier nets rerouted —
+			// so a net pushed into overflow mid-iteration is rerouted
+			// the same round. netOverCnt makes the check O(1).
+			if iter > 0 && r.st.netOverCnt[ni] == 0 {
 				continue
 			}
 			r.ripup(ni)
 			if err := r.routeNet(ni, presentFactor); err != nil {
-				return nil, &RouteError{Net: ni, Iteration: iters, Overflow: r.totalOverflow(), Err: err}
+				return nil, &RouteError{Net: ni, Iteration: iters, Overflow: r.totalOver, Err: err}
 			}
 			rerouted++
 		}
-		over := r.totalOverflow()
+		if overflowAudit != nil {
+			overflowAudit(r)
+		}
+		over := r.totalOver
 		r.opts.Trace.Iteration(over)
 		if bestOver < 0 || over < bestOver {
 			snapshot(over)
@@ -323,12 +328,12 @@ func (r *router) run() (*Result, error) {
 		// Accumulate history on congested edges.
 		for i, u := range r.hUse {
 			if int(u) > r.opts.Capacity {
-				r.hHist[i] += float32(int(u) - r.opts.Capacity)
+				r.st.hHist[i] += float32(int(u) - r.opts.Capacity)
 			}
 		}
 		for i, u := range r.vUse {
 			if int(u) > r.opts.Capacity {
-				r.vHist[i] += float32(int(u) - r.opts.Capacity)
+				r.st.vHist[i] += float32(int(u) - r.opts.Capacity)
 			}
 		}
 		presentFactor *= 1.6
@@ -336,29 +341,26 @@ func (r *router) run() (*Result, error) {
 			break
 		}
 	}
-	if bestOver >= 0 && bestOver < r.totalOverflow() {
+	if bestOver >= 0 && bestOver < r.totalOver {
+		// The incidence lists and per-net overflow counters are not
+		// restored: nothing reads them after the loop.
 		copy(r.hUse, bestHUse)
 		copy(r.vUse, bestVUse)
 		copy(r.netEdges, bestNetEdges)
-		copy(r.netTrees, bestNetTrees)
+		r.totalOver = bestOver
 	}
 	r.opts.Trace.Best(bestIter)
 	return r.finish(iters)
 }
 
-func (r *router) netOverflowed(ni int) bool {
-	for _, e := range r.netEdges[ni] {
-		use := r.vUse
-		if e.horizontal {
-			use = r.hUse
-		}
-		if int(use[e.idx]) > r.opts.Capacity {
-			return true
-		}
-	}
-	return false
-}
+// overflowAudit, when set by a test, runs at every negotiation
+// iteration boundary to cross-check the incrementally maintained
+// overflow state against full scans. Never set outside tests.
+var overflowAudit func(*router)
 
+// totalOverflow recomputes the capacity overflow by scanning both
+// usage arrays: the oracle the incrementally-maintained totalOver is
+// tested against. The negotiation loop itself never calls it.
 func (r *router) totalOverflow() int {
 	over := 0
 	for _, u := range r.hUse {
@@ -374,16 +376,66 @@ func (r *router) totalOverflow() int {
 	return over
 }
 
-func (r *router) ripup(ni int) {
-	for _, e := range r.netEdges[ni] {
-		if e.horizontal {
-			r.hUse[e.idx]--
+// addEdge commits one edge of net ni's tree: usage, the edge's net
+// incidence list, the running total overflow, and — when the edge
+// crosses the capacity boundary — the per-net overflowed-ref counters
+// of every net holding it.
+func (r *router) addEdge(ni int32, e edgeRef) {
+	use, on := r.vUse, r.st.vOn
+	if e.horizontal {
+		use, on = r.hUse, r.st.hOn
+	}
+	on[e.idx] = append(on[e.idx], ni)
+	u := use[e.idx] + 1
+	use[e.idx] = u
+	if int(u) > r.opts.Capacity {
+		r.totalOver++
+		if int(u) == r.opts.Capacity+1 {
+			for _, nj := range on[e.idx] {
+				r.st.netOverCnt[nj]++
+			}
 		} else {
-			r.vUse[e.idx]--
+			r.st.netOverCnt[ni]++
 		}
 	}
+}
+
+// removeEdge is addEdge's inverse, called from ripup.
+func (r *router) removeEdge(ni int32, e edgeRef) {
+	use, on := r.vUse, r.st.vOn
+	if e.horizontal {
+		use, on = r.hUse, r.st.hOn
+	}
+	u := use[e.idx]
+	if int(u) > r.opts.Capacity {
+		r.totalOver--
+		if int(u) == r.opts.Capacity+1 {
+			for _, nj := range on[e.idx] {
+				r.st.netOverCnt[nj]--
+			}
+		} else {
+			r.st.netOverCnt[ni]--
+		}
+	}
+	use[e.idx] = u - 1
+	// Unordered remove of ni from the incidence list; each edge holds
+	// a net at most once, and list order only sequences counter
+	// updates, never their values.
+	list := on[e.idx]
+	for k, nj := range list {
+		if nj == ni {
+			list[k] = list[len(list)-1]
+			on[e.idx] = list[:len(list)-1]
+			break
+		}
+	}
+}
+
+func (r *router) ripup(ni int) {
+	for _, e := range r.netEdges[ni] {
+		r.removeEdge(int32(ni), e)
+	}
 	r.netEdges[ni] = nil
-	r.netTrees[ni] = nil
 }
 
 // viaFaultPenalty is the surcharge on edges incident to a via-faulted
@@ -452,12 +504,12 @@ func (r *router) edgeCost(horizontal bool, idx int, presentFactor float64) float
 	var hist float32
 	var pen float32
 	if horizontal {
-		use, hist = r.hUse[idx], r.hHist[idx]
+		use, hist = r.hUse[idx], r.st.hHist[idx]
 		if r.hPen != nil {
 			pen = r.hPen[idx]
 		}
 	} else {
-		use, hist = r.vUse[idx], r.vHist[idx]
+		use, hist = r.vUse[idx], r.st.vHist[idx]
 		if r.vPen != nil {
 			pen = r.vPen[idx]
 		}
@@ -539,73 +591,73 @@ func (q *pq) down(i0, n int) {
 }
 
 // routeNet builds the net's routing tree: sinks are connected one at a
-// time (nearest first) by A* from the existing tree.
+// time (nearest first) by A* from the existing tree. Tree membership
+// lives in an epoch-stamped cell array beside an insertion-ordered
+// member list: astar seeds its frontier and picks its window anchor
+// from the ordered list, so routing is deterministic, and no per-net
+// maps are built (finish derives tree adjacency from the edge list).
 func (r *router) routeNet(ni int, presentFactor float64) error {
 	net := &r.prob.Nets[ni]
+	st := r.st
 	src := r.binOf(net.Objs[0])
-	// The tree keeps an insertion-ordered member list beside the
-	// membership map: astar seeds its frontier and picks its window
-	// anchor from the ordered list, so routing is deterministic (map
-	// iteration order would randomize tie-breaks run to run).
-	tree := map[point]bool{src: true}
-	treeList := []point{src}
-	treeAdj := map[point][]point{}
+	st.treeEpoch++
+	te := st.treeEpoch
+	st.inTree[r.cellOf(src)] = te
+	treeList := st.treeList[:0]
+	treeList = append(treeList, src)
 	var edges []edgeRef
 	grow := func(p point) {
-		if !tree[p] {
-			tree[p] = true
+		if c := r.cellOf(p); st.inTree[c] != te {
+			st.inTree[c] = te
 			treeList = append(treeList, p)
 		}
 	}
 
-	sinks := make([]point, 0, len(net.Objs)-1)
+	sinks := st.sinks[:0]
 	for _, oi := range net.Objs[1:] {
 		sinks = append(sinks, r.binOf(oi))
 	}
 	// Route nearest sinks first for better trees.
-	sorted := append([]point(nil), sinks...)
-	for i := range sorted {
+	for i := range sinks {
 		best := i
-		for j := i + 1; j < len(sorted); j++ {
-			if manhattan(src, sorted[j]) < manhattan(src, sorted[best]) {
+		for j := i + 1; j < len(sinks); j++ {
+			if manhattan(src, sinks[j]) < manhattan(src, sinks[best]) {
 				best = j
 			}
 		}
-		sorted[i], sorted[best] = sorted[best], sorted[i]
+		sinks[i], sinks[best] = sinks[best], sinks[i]
 	}
-	for _, sink := range sorted {
-		if tree[sink] {
+	for _, sink := range sinks {
+		if st.inTree[r.cellOf(sink)] == te {
 			continue
 		}
 		// Restrict the search to a margin around the sink and its
 		// nearest tree node first; fall back to the whole grid only if
 		// congestion walls off the window.
-		path, err := r.astar(tree, treeList, sink, presentFactor, 6)
+		path, err := r.astar(te, treeList, sink, presentFactor, 6)
 		if err != nil {
-			path, err = r.astar(tree, treeList, sink, presentFactor, -1)
+			path, err = r.astar(te, treeList, sink, presentFactor, -1)
 		}
 		if err != nil {
+			st.treeList, st.sinks = treeList[:0], sinks[:0]
 			return err
 		}
 		for i := 0; i+1 < len(path); i++ {
-			a, b := path[i], path[i+1]
-			ref := r.edgeBetween(a, b)
-			if e := ref; e.horizontal {
-				r.hUse[e.idx]++
-			} else {
-				r.vUse[e.idx]++
-			}
+			ref := r.edgeBetween(path[i], path[i+1])
+			r.addEdge(int32(ni), ref)
 			edges = append(edges, ref)
-			treeAdj[a] = append(treeAdj[a], b)
-			treeAdj[b] = append(treeAdj[b], a)
-			grow(a)
-			grow(b)
+			grow(path[i])
+			grow(path[i+1])
 		}
 		grow(sink)
 	}
+	st.treeList, st.sinks = treeList[:0], sinks[:0]
 	r.netEdges[ni] = edges
-	r.netTrees[ni] = treeAdj
 	return nil
+}
+
+func (r *router) cellOf(p point) int32 {
+	return int32(p.y)*int32(r.nx) + int32(p.x)
 }
 
 func manhattan(a, b point) float64 {
@@ -625,15 +677,17 @@ func (r *router) edgeBetween(a, b point) edgeRef {
 	}
 }
 
-// astar searches from the existing tree (all members seeded at cost 0)
-// to the sink. Scratch state lives in flat arrays indexed by grid cell
-// and is invalidated wholesale by bumping an epoch counter, so routing
-// thousands of nets allocates nothing per call. treeList is the tree's
-// membership in insertion order; iterating it (instead of the map)
-// keeps window anchoring and frontier seeding deterministic.
-func (r *router) astar(tree map[point]bool, treeList []point, sink point, presentFactor float64, margin int) ([]point, error) {
-	r.epoch++
-	cell := func(p point) int32 { return int32(p.y)*int32(r.nx) + int32(p.x) }
+// astar searches from the existing tree (all members seeded at cost 0,
+// membership = inTree stamp equals te) to the sink. Scratch state
+// lives in flat arrays indexed by grid cell and is invalidated
+// wholesale by bumping an epoch counter, and the returned path reuses
+// the state's scratch buffer (valid until the next astar call), so
+// routing thousands of nets allocates nothing per call. treeList is
+// the tree's membership in insertion order; iterating it keeps window
+// anchoring and frontier seeding deterministic.
+func (r *router) astar(te int32, treeList []point, sink point, presentFactor float64, margin int) ([]point, error) {
+	st := r.st
+	st.epoch++
 	uncell := func(c int32) point { return point{int16(c % int32(r.nx)), int16(c / int32(r.nx))} }
 	// Search window: the bounding box of the sink and its nearest tree
 	// node, padded by margin bins (margin < 0 disables the window).
@@ -650,39 +704,39 @@ func (r *router) astar(tree map[point]bool, treeList []point, sink point, presen
 		r.winY0 = clampInt(minI(int(best.y), int(sink.y))-margin, 0, r.ny-1)
 		r.winY1 = clampInt(maxI(int(best.y), int(sink.y))+margin, 0, r.ny-1)
 	}
-	frontier := r.scratch[:0]
+	frontier := st.scratch[:0]
 	for _, t := range treeList {
 		if int(t.x) < r.winX0 || int(t.x) > r.winX1 || int(t.y) < r.winY0 || int(t.y) > r.winY1 {
 			continue
 		}
-		c := cell(t)
-		r.gScore[c] = 0
-		r.gStamp[c] = r.epoch
-		r.parent[c] = -1
+		c := r.cellOf(t)
+		st.gScore[c] = 0
+		st.gStamp[c] = st.epoch
+		st.parent[c] = -1
 		frontier = append(frontier, pqItem{t, 0, manhattan(t, sink)})
 	}
 	frontier.init()
-	defer func() { r.scratch = frontier[:0] }()
-	sinkC := cell(sink)
+	defer func() { st.scratch = frontier[:0] }()
+	sinkC := r.cellOf(sink)
 	for len(frontier) > 0 {
 		cur := frontier.pop()
-		curC := cell(cur.pt)
-		if r.cStamp[curC] == r.epoch {
+		curC := r.cellOf(cur.pt)
+		if st.cStamp[curC] == st.epoch {
 			continue
 		}
-		r.cStamp[curC] = r.epoch
+		st.cStamp[curC] = st.epoch
 		if curC == sinkC {
 			// Reconstruct to the first tree node.
-			var path []point
+			path := st.pathBuf[:0]
 			c := sinkC
 			for {
-				p := uncell(c)
-				path = append(path, p)
-				if tree[p] {
+				path = append(path, uncell(c))
+				if st.inTree[c] == te {
 					break
 				}
-				c = r.parent[c]
+				c = st.parent[c]
 			}
+			st.pathBuf = path
 			return path, nil
 		}
 		x, y := int(cur.pt.x), int(cur.pt.y)
@@ -720,21 +774,35 @@ func (r *router) relax(frontier *pq, cur pqItem, sink point, nxp, nyp int, ok, h
 		return
 	}
 	p := point{int16(nxp), int16(nyp)}
+	st := r.st
 	c := int32(nyp)*int32(r.nx) + int32(nxp)
-	if r.cStamp[c] == r.epoch {
+	if st.cStamp[c] == st.epoch {
 		return
 	}
 	g := cur.g + r.edgeCost(horizontal, edgeIdx, presentFactor)
-	if r.gStamp[c] == r.epoch && r.gScore[c] <= g {
+	if st.gStamp[c] == st.epoch && st.gScore[c] <= g {
 		return
 	}
-	r.gScore[c] = g
-	r.gStamp[c] = r.epoch
-	r.parent[c] = int32(cur.pt.y)*int32(r.nx) + int32(cur.pt.x)
+	st.gScore[c] = g
+	st.gStamp[c] = st.epoch
+	st.parent[c] = int32(cur.pt.y)*int32(r.nx) + int32(cur.pt.x)
 	frontier.push(pqItem{p, g, g + manhattan(p, sink)})
 }
 
+// edgeEnds decodes an edge reference into its two grid cells.
+func (r *router) edgeEnds(e edgeRef) (point, point) {
+	if e.horizontal {
+		y, x := int(e.idx)/(r.nx-1), int(e.idx)%(r.nx-1)
+		return point{int16(x), int16(y)}, point{int16(x + 1), int16(y)}
+	}
+	y, x := int(e.idx)/r.nx, int(e.idx)%r.nx
+	return point{int16(x), int16(y)}, point{int16(x), int16(y + 1)}
+}
+
 // finish extracts lengths, per-sink distances and congestion stats.
+// The usage and per-net edge arrays transfer from the (possibly
+// pooled) State into the Result here — detailed routing reads them
+// after the run — and the State reallocates them on its next checkout.
 func (r *router) finish(iters int) (*Result, error) {
 	res := &Result{
 		CellsX: r.nx, CellsY: r.ny,
@@ -747,19 +815,29 @@ func (r *router) finish(iters int) (*Result, error) {
 		hEdges:     r.hUse,
 		vEdges:     r.vUse,
 	}
+	r.st.hUse, r.st.vUse = nil, nil
 	edgeLen := (r.binW + r.binH) / 2
+	adj := map[point][]point{}
 	for ni := range r.prob.Nets {
 		res.NetLength[ni] = float64(len(r.netEdges[ni])) * edgeLen
 		res.Total += res.NetLength[ni]
-		// Per-sink tree distance by BFS over the tree adjacency.
+		// Per-sink tree distance by BFS over the tree adjacency,
+		// derived from the net's edge list (each edge appears at most
+		// once per net, so the adjacency needs no deduplication).
 		net := &r.prob.Nets[ni]
 		src := r.binOf(net.Objs[0])
+		clear(adj)
+		for _, e := range r.netEdges[ni] {
+			a, b := r.edgeEnds(e)
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
 		dist := map[point]float64{src: 0}
 		queue := []point{src}
 		for len(queue) > 0 {
 			p := queue[0]
 			queue = queue[1:]
-			for _, q := range r.netTrees[ni][p] {
+			for _, q := range adj[p] {
 				if _, seen := dist[q]; !seen {
 					dist[q] = dist[p] + edgeLen
 					queue = append(queue, q)
@@ -771,13 +849,13 @@ func (r *router) finish(iters int) (*Result, error) {
 			res.SinkDist[ni][k] = dist[r.binOf(oi)]
 		}
 	}
-	res.Overflow = r.totalOverflow()
-	for _, u := range r.hUse {
+	res.Overflow = r.totalOver
+	for _, u := range res.hEdges {
 		if f := float64(u) / float64(r.opts.Capacity); f > res.MaxUtilization {
 			res.MaxUtilization = f
 		}
 	}
-	for _, u := range r.vUse {
+	for _, u := range res.vEdges {
 		if f := float64(u) / float64(r.opts.Capacity); f > res.MaxUtilization {
 			res.MaxUtilization = f
 		}

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Run the key benchmarks (annealing move throughput, global routing,
 # the end-to-end matrix, Table 1 die area) and emit one machine-readable
-# trajectory point for the BENCH_*.json perf history.
+# trajectory point for the BENCH_*.json perf history, then print a
+# delta table against the most recent committed trajectory point.
 #
-# Usage: scripts/bench.sh [out.json]        (default: BENCH_5.json)
+# Usage: scripts/bench.sh [out.json]        (default: BENCH_6.json)
 #   BENCH_PATTERN  override the -bench regexp
 #   BENCH_TIME     override -benchtime (default 1s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 pattern="${BENCH_PATTERN:-AnnealMoves|GlobalRouting|MatrixParallel|Table1DieArea}"
 benchtime="${BENCH_TIME:-1s}"
 
@@ -50,3 +51,31 @@ if command -v jq >/dev/null 2>&1; then
   jq -e '.benchmarks | length > 0' "$out" >/dev/null
 fi
 echo "wrote $out" >&2
+
+# Delta table: the fresh point against the newest committed BENCH_*.json
+# (the out file itself excluded, so regenerating a committed point still
+# compares against its predecessor).
+base=$(git ls-files 'BENCH_*.json' | grep -Fxv "$out" | sort -V | tail -1 || true)
+if [[ -n "$base" && -f "$base" ]]; then
+  python3 - "$base" "$out" <<'PY' >&2
+import json, sys
+basePath, newPath = sys.argv[1], sys.argv[2]
+base, new = (json.load(open(p)) for p in (basePath, newPath))
+byName = {b["name"]: b for b in base["benchmarks"]}
+print(f"\ndelta vs {basePath} (rev {base.get('git_rev', '?')}):")
+print(f"  {'benchmark':<30} {'metric':<16} {'old':>14} {'new':>14} {'delta':>9}")
+for nb in new["benchmarks"]:
+    ob = byName.get(nb["name"])
+    if ob is None:
+        print(f"  {nb['name']:<30} (no baseline entry)")
+        continue
+    for metric, val in nb.items():
+        if metric in ("name", "iterations") or metric not in ob:
+            continue
+        old = ob[metric]
+        pct = f"{100.0 * (val - old) / old:+8.1f}%" if old else "      n/a"
+        print(f"  {nb['name']:<30} {metric:<16} {old:>14.6g} {val:>14.6g} {pct}")
+PY
+else
+  echo "no committed BENCH_*.json to diff against" >&2
+fi
