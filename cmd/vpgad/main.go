@@ -19,6 +19,16 @@
 // cell) to a JSONL run ledger — the same format `vpgaflow qor diff`
 // gates against the committed baseline.
 //
+// -data makes the daemon crash-safe: it opens a durable job journal
+// (journal.wal) and a persistent artifact store (artifacts/) under the
+// directory. Accepted jobs survive a SIGKILL — on restart the journal
+// replays and incomplete jobs re-enqueue under their original IDs —
+// and completed results are served from the store across restarts.
+//
+// -faults arms the deterministic fault-injection harness (same spec
+// as the VPGA_FAULTS environment variable; the flag wins), e.g.
+// "seed=7,rate=0.02,kinds=errwrite+torn,points=journal.append".
+//
 // POST endpoints accept ?wait=1 to block until the job finishes;
 // without it they return 202 with a job id to poll. A full queue
 // answers 429 with Retry-After. SIGINT/SIGTERM drain gracefully:
@@ -36,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"vpga/internal/faultinject"
 	"vpga/internal/server"
 )
 
@@ -48,12 +59,30 @@ func main() {
 	jobsKeep := flag.Int("jobs-keep", 64, "completed job records (and traces) retained for polling")
 	ledger := flag.String("ledger", "", "append a QoR record per completed run/matrix cell to this JSONL ledger")
 	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
+	dataDir := flag.String("data", "", "durable state directory (job journal + artifact store); empty = in-memory only")
+	faults := flag.String("faults", "", "fault-injection spec (overrides "+faultinject.EnvVar+"), e.g. seed=7,rate=0.02,kinds=errwrite+torn")
 	flag.Parse()
 
-	s := server.New(server.Options{
+	if *faults != "" {
+		inj, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fatalf("-faults: %v", err)
+		}
+		faultinject.Enable(inj)
+	} else if inj, err := faultinject.FromEnv(); err != nil {
+		fatalf("%s: %v", faultinject.EnvVar, err)
+	} else if inj != nil {
+		faultinject.Enable(inj)
+	}
+
+	s, err := server.New(server.Options{
 		Workers: *workers, QueueDepth: *queue, CacheSize: *cacheSize,
 		JobTimeout: *jobTimeout, JobsKeep: *jobsKeep, LedgerPath: *ledger,
+		DataDir: *dataDir,
 	})
+	if err != nil {
+		fatalf("%v", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -157,9 +157,17 @@ func qorDiff(ctx context.Context, args []string) {
 		Parallel: *parallel,
 	}
 	if *ledgerPath != "" {
-		if cur, err = qor.Read(*ledgerPath); err != nil {
+		// A torn trailing line (daemon killed mid-append) is tolerated:
+		// the intact records still gate, with a warning.
+		recs, st, err := qor.ReadStatsFile(*ledgerPath)
+		if err != nil {
 			fatalf("%v", err)
 		}
+		if st.TornTail {
+			fmt.Fprintf(os.Stderr, "qor: warning: %s: discarded torn trailing line %d (%s)\n",
+				*ledgerPath, st.TornLine, st.TornErr)
+		}
+		cur = recs
 	} else {
 		// Replay exactly the configuration the baseline records, so the
 		// diff is apples-to-apples without any flag coordination.

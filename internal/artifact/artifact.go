@@ -1,0 +1,218 @@
+// Package artifact is the persistent content-addressed artifact store
+// of the flow service: payloads (cached reports, matrix results,
+// stage checkpoints) keyed by the canonical request cache key, spilled
+// to disk with checksums so results survive a process crash.
+//
+// The store is designed to be wrong-proof rather than write-proof: a
+// corrupt, truncated or unreadable entry is NEVER an error — it is
+// detected by checksum, evicted, counted, and reported as a miss, so
+// the caller recomputes. Writes are atomic (temp file + fsync +
+// rename via internal/fsx), so a crash mid-Put leaves either the old
+// entry or none; the injectable torn-write fault deliberately
+// bypasses that path to prove the read side heals.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"vpga/internal/faultinject"
+	"vpga/internal/fsx"
+)
+
+// header is the entry preamble: magic, payload SHA-256, payload length.
+const magic = "vpga-artifact-v1"
+
+// Stats is the store's observability snapshot.
+type Stats struct {
+	Hits, Misses   int64
+	Writes         int64
+	WriteErrors    int64
+	CorruptEvicted int64
+	InjectedRead   int64
+}
+
+// Store is a content-addressed key → payload store rooted at one
+// directory. Keys must be non-empty and filesystem-safe (the service
+// uses hex SHA-256 cache keys). Safe for concurrent use: distinct keys
+// never contend, and same-key races resolve to one complete entry
+// because publication is a rename.
+type Store struct {
+	dir string
+
+	hits, misses   atomic.Int64
+	writes         atomic.Int64
+	writeErrors    atomic.Int64
+	corruptEvicted atomic.Int64
+	injectedRead   atomic.Int64
+}
+
+// Open roots a store at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty store dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\") || strings.HasPrefix(key, ".") {
+		return "", fmt.Errorf("artifact: unusable key %q", key)
+	}
+	return filepath.Join(s.dir, key+".art"), nil
+}
+
+// encode frames a payload: one header line, then the raw bytes.
+func encode(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	head := magic + " " + hex.EncodeToString(sum[:]) + " " + strconv.Itoa(len(payload)) + "\n"
+	out := make([]byte, 0, len(head)+len(payload))
+	out = append(out, head...)
+	return append(out, payload...)
+}
+
+// Put stores a payload under key, atomically. The "artifact.write"
+// fault point fires here: an injected torn write persists a truncated
+// frame at the final path (deliberately skipping the atomic rename) so
+// the corruption-healing read path gets exercised end to end.
+func (s *Store) Put(key string, payload []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	framed := encode(payload)
+	if f := faultinject.Arm("artifact.write"); f != nil {
+		if torn := f.TornBytes(framed); torn != nil {
+			os.WriteFile(p, torn, 0o644)
+		}
+		s.writeErrors.Add(1)
+		return f.Err()
+	}
+	if err := fsx.WriteFileBytesAtomic(p, framed, 0o644); err != nil {
+		s.writeErrors.Add(1)
+		return err
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Get loads the payload stored under key. Every failure mode —
+// missing file, injected read fault, bad header, length or checksum
+// mismatch — is a miss, never an error; corrupt entries are evicted
+// so the next Put starts clean.
+func (s *Store) Get(key string) ([]byte, bool) {
+	p, err := s.path(key)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	if err := faultinject.Check("artifact.read"); err != nil {
+		s.injectedRead.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decode(raw)
+	if !ok {
+		s.evictCorrupt(p)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// decode verifies a framed entry and returns its payload.
+func decode(raw []byte) ([]byte, bool) {
+	nl := -1
+	for i, b := range raw {
+		if b == '\n' {
+			nl = i
+			break
+		}
+		if i > 256 {
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, false
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) != 3 || fields[0] != magic {
+		return nil, false
+	}
+	want, err := hex.DecodeString(fields[1])
+	if err != nil || len(want) != sha256.Size {
+		return nil, false
+	}
+	n, err := strconv.Atoi(fields[2])
+	if err != nil || n < 0 {
+		return nil, false
+	}
+	payload := raw[nl+1:]
+	if len(payload) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if !hmacEqual(sum[:], want) {
+		return nil, false
+	}
+	return payload, true
+}
+
+func hmacEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}
+
+func (s *Store) evictCorrupt(path string) {
+	os.Remove(path)
+	s.corruptEvicted.Add(1)
+}
+
+// Len counts live entries (a directory scan; cheap at cache scale).
+func (s *Store) Len() int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".art") {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits: s.hits.Load(), Misses: s.misses.Load(),
+		Writes: s.writes.Load(), WriteErrors: s.writeErrors.Load(),
+		CorruptEvicted: s.corruptEvicted.Load(),
+		InjectedRead:   s.injectedRead.Load(),
+	}
+}

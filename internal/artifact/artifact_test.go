@@ -1,0 +1,174 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vpga/internal/faultinject"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const key = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func TestRoundTrip(t *testing.T) {
+	s := open(t)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	payload := []byte(`{"report":"x","n":42}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("get: %q ok=%v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Empty payloads round-trip too.
+	if err := s.Put(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || len(got) != 0 {
+		t.Fatalf("empty payload: %q ok=%v", got, ok)
+	}
+}
+
+func TestBadKeys(t *testing.T) {
+	s := open(t)
+	for _, k := range []string{"", "a/b", `a\b`, ".hidden"} {
+		if err := s.Put(k, []byte("x")); err == nil {
+			t.Fatalf("key %q accepted", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("key %q hit", k)
+		}
+	}
+}
+
+// TestCorruptEntryIsMiss: every flavor of on-disk damage reads as a
+// miss, evicts the entry, and never errors.
+func TestCorruptEntryIsMiss(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":    func(raw []byte) []byte { return raw[:len(raw)/2] },
+		"flipped-byte": func(raw []byte) []byte { raw[len(raw)-1] ^= 0xff; return raw },
+		"bad-magic":    func(raw []byte) []byte { raw[0] = 'X'; return raw },
+		"empty":        func([]byte) []byte { return nil },
+		"no-newline":   func([]byte) []byte { return bytes.Repeat([]byte("z"), 400) },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			s := open(t)
+			if err := s.Put(key, []byte("precious payload")); err != nil {
+				t.Fatal(err)
+			}
+			p := filepath.Join(s.Dir(), key+".art")
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt entry served")
+			}
+			if s.Stats().CorruptEvicted != 1 {
+				t.Fatalf("stats %+v", s.Stats())
+			}
+			if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+				t.Fatal("corrupt entry not evicted from disk")
+			}
+			// The store heals: a fresh Put serves again.
+			if err := s.Put(key, []byte("recomputed")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || string(got) != "recomputed" {
+				t.Fatalf("after heal: %q ok=%v", got, ok)
+			}
+		})
+	}
+}
+
+// TestInjectedTornWriteHeals: the "artifact.write" torn fault leaves a
+// truncated frame at the published path; the read side detects, evicts
+// and recomputes.
+func TestInjectedTornWriteHeals(t *testing.T) {
+	t.Cleanup(faultinject.Disable)
+	s := open(t)
+	faultinject.Enable(faultinject.New(1, 1.0, []faultinject.Kind{faultinject.KindTorn}, "artifact.write"))
+	err := s.Put(key, []byte("doomed payload that is long enough to tear"))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn Put error: %v", err)
+	}
+	faultinject.Disable()
+	// The torn frame is on disk at the final path…
+	if _, statErr := os.Stat(filepath.Join(s.Dir(), key+".art")); statErr != nil {
+		t.Fatalf("torn frame not persisted: %v", statErr)
+	}
+	// …and the read side treats it as a miss + eviction.
+	if _, ok := s.Get(key); ok {
+		t.Fatal("torn frame served")
+	}
+	st := s.Stats()
+	if st.CorruptEvicted != 1 || st.WriteErrors != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := s.Put(key, []byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "clean" {
+		t.Fatalf("after heal: %q ok=%v", got, ok)
+	}
+}
+
+// TestInjectedReadFaultIsMiss: an injected read error is a counted
+// miss, and the entry survives for the next (clean) read.
+func TestInjectedReadFaultIsMiss(t *testing.T) {
+	t.Cleanup(faultinject.Disable)
+	s := open(t)
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.New(1, 1.0, nil, "artifact.read"))
+	if _, ok := s.Get(key); ok {
+		t.Fatal("injected read fault still hit")
+	}
+	faultinject.Disable()
+	if got, ok := s.Get(key); !ok || string(got) != "payload" {
+		t.Fatalf("entry lost to injected read: %q ok=%v", got, ok)
+	}
+	if s.Stats().InjectedRead != 1 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	// A file where the dir should be.
+	p := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(p); err == nil {
+		t.Fatal("file-as-dir accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"vpga/internal/artifact"
+	"vpga/internal/bench"
+	"vpga/internal/cells"
+	"vpga/internal/place"
+)
+
+// Placement checkpointing is the first stage-granular layer of the
+// service's build cache: the post-refinement position snapshot is
+// saved to the artifact store under a key derived from everything the
+// placement depends on, and a later run with the same key restores it
+// and skips annealing + refinement. Restoring is bit-identical by
+// construction — routing, packing, timing and power read only the
+// object coordinates, which the snapshot reproduces exactly (JSON
+// float64 round-trips are exact) — so a routing-knob variant of a
+// request reuses its sibling's placement and changes only from the
+// router onward.
+
+// placeCheckpointNS versions the key derivation; bump it when the
+// placement pipeline changes in a way that invalidates old snapshots.
+const placeCheckpointNS = "ckpt/place/v1"
+
+// placeCheckpointSchema versions the snapshot payload.
+const placeCheckpointSchema = 1
+
+// placeCheckpointID is the key payload: every input the post-refine
+// placement depends on, and nothing else. Flow is deliberately absent
+// (flows a and b share the whole pre-pack pipeline), as are the
+// route-only knobs (capacity/cells scale) — that exclusion is what
+// lets a repair-ladder routing rung or a routing sweep reuse the
+// placement. Seed IS present, so the ladder's reseeding rungs key
+// fresh placements.
+type placeCheckpointID struct {
+	Design string  `json:"design"`
+	RTLSHA string  `json:"rtl_sha"`
+	Arch   string  `json:"arch"`
+	Seed   int64   `json:"seed"`
+	Effort int     `json:"effort"`
+	Skip   bool    `json:"skip_compaction,omitempty"`
+	Clock  float64 `json:"clock,omitempty"`
+	// Defects is the map's provenance line (seed/rate/dims/counts):
+	// stuck sites constrain the spread and every anneal move.
+	Defects string `json:"defects,omitempty"`
+}
+
+// archSignature flattens the parts of a PLB architecture that shape
+// placement — name, tile areas, and the slot inventory — into a
+// stable string, so two distinct custom architectures sharing a name
+// cannot collide on one checkpoint key.
+func archSignature(a *cells.PLBArch) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|area=%g|comb=%g", a.Name, a.Area, a.CombArea)
+	for _, s := range a.Slots {
+		fmt.Fprintf(&sb, "|%s:%v", s.Component, s.Serves)
+	}
+	return sb.String()
+}
+
+// placeCheckpointKey derives the snapshot's content address from the
+// resolved design + config ("" when no key can be formed). It hashes
+// the resolved Config rather than the originating request because the
+// repair ladder mutates the config between attempts — each reseeded
+// rung must miss the previous rung's checkpoint.
+func placeCheckpointKey(d bench.Design, cfg Config) string {
+	if cfg.Arch == nil {
+		return ""
+	}
+	rtl := sha256.Sum256([]byte(d.RTL))
+	id := placeCheckpointID{
+		Design: d.Name, RTLSHA: hex.EncodeToString(rtl[:]),
+		Arch: archSignature(cfg.Arch),
+		Seed: cfg.Seed, Effort: cfg.PlaceEffort, Skip: cfg.SkipCompaction,
+		Clock: cfg.ClockPeriod,
+	}
+	if cfg.Defects != nil {
+		id.Defects = cfg.Defects.String()
+	}
+	key, err := CanonicalKey(placeCheckpointNS, id)
+	if err != nil {
+		return ""
+	}
+	return key
+}
+
+// placeCheckpoint is the stored snapshot: the flat position array in
+// object order, with the object count double-checking the length.
+type placeCheckpoint struct {
+	Schema    int       `json:"schema"`
+	Objects   int       `json:"objects"`
+	Positions []float64 `json:"positions"`
+}
+
+// savePlaceCheckpoint stores the problem's positions, best-effort: a
+// failed save costs the next run its shortcut, never this run its
+// result (the store's own Put already retries nothing and the caller
+// must not either — checkpointing is pure acceleration).
+func savePlaceCheckpoint(store *artifact.Store, key string, prob *place.Problem) {
+	if store == nil || key == "" {
+		return
+	}
+	ck := placeCheckpoint{
+		Schema: placeCheckpointSchema, Objects: len(prob.Objs),
+		Positions: prob.Positions(),
+	}
+	enc, err := json.Marshal(ck)
+	if err != nil {
+		return
+	}
+	store.Put(key, enc)
+}
+
+// loadPlaceCheckpoint fetches and validates a snapshot. Every failure
+// — missing, corrupt (the store evicts those itself), wrong schema,
+// wrong shape — is a miss: the caller anneals from scratch.
+func loadPlaceCheckpoint(store *artifact.Store, key string) ([]float64, bool) {
+	if store == nil || key == "" {
+		return nil, false
+	}
+	raw, ok := store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var ck placeCheckpoint
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		return nil, false
+	}
+	if ck.Schema > placeCheckpointSchema || len(ck.Positions) != 2*ck.Objects {
+		return nil, false
+	}
+	return ck.Positions, true
+}

@@ -16,10 +16,12 @@ import (
 	"time"
 
 	"vpga/internal/aig"
+	"vpga/internal/artifact"
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/compact"
 	"vpga/internal/defect"
+	"vpga/internal/faultinject"
 	"vpga/internal/netlist"
 	"vpga/internal/obs"
 	"vpga/internal/pack"
@@ -93,6 +95,13 @@ type Config struct {
 	// untraced one after StripMetrics. Nil disables tracing at zero
 	// hot-path cost.
 	Trace *obs.Run
+	// Checkpoints, when set, is the stage-granular build cache: the
+	// post-refinement placement snapshot is stored here, and a later
+	// run whose placement inputs match restores it and skips annealing
+	// entirely (see checkpoint.go). Like Trace and PlaceWorkers it is
+	// transport state — reports are bit-identical with or without it,
+	// so it never enters the request cache key.
+	Checkpoints *artifact.Store
 	// routePool, when set, lends the router reusable working memory
 	// (usage/history arrays, A* scratch) for the run. The experiment
 	// drivers share one pool across their runs; results are
@@ -264,6 +273,23 @@ func flowErr(d bench.Design, cfg Config, stage string, err error) *FlowError {
 	return &FlowError{Design: d.Name, Arch: arch, Flow: cfg.Flow.String(), Stage: stage, Err: err}
 }
 
+// stageFault consults the fault-injection harness at the named stage
+// boundary (fault points "stage.<name>"). A fired fault fails the
+// stage through the same *FlowError path a real error takes, so the
+// repair ladder and the service's retry layer see injected and
+// organic failures identically; a crash-kind fault kills the process
+// here, modeling a SIGKILL landing between stages. Disabled injection
+// costs one atomic load per stage.
+func stageFault(d bench.Design, cfg Config, stage string) *FlowError {
+	if faultinject.Active() == nil {
+		return nil
+	}
+	if err := faultinject.Check("stage." + stage); err != nil {
+		return flowErr(d, cfg, stage, err)
+	}
+	return nil
+}
+
 // ctxFlowErr reports a context expiry as a *FlowError, distinguishing
 // timeouts from cancellations; it returns nil while ctx is live.
 func ctxFlowErr(ctx context.Context, d bench.Design, cfg Config) *FlowError {
@@ -306,11 +332,17 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	}
 
 	// Synthesis front end.
+	if fe := stageFault(d, cfg, "rtl"); fe != nil {
+		return nil, nil, fe
+	}
 	end := cfg.Trace.Stage("rtl")
 	rtlNet, err := compileRTL(d)
 	end()
 	if err != nil {
 		return nil, nil, flowErr(d, cfg, "rtl", err)
+	}
+	if fe := stageFault(d, cfg, "synth"); fe != nil {
+		return nil, nil, fe
 	}
 	end = cfg.Trace.Stage("synth")
 	des, err := aig.FromNetlist(rtlNet)
@@ -323,6 +355,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 
 	// Delay-oriented technology mapping to the component library; the
 	// compaction step is the area-recovery stage, as in the paper.
+	if fe := stageFault(d, cfg, "map"); fe != nil {
+		return nil, nil, fe
+	}
 	end = cfg.Trace.Stage("map")
 	mapped, err := techmap.Map(des, cfg.Arch, techmap.Options{AreaPasses: 1})
 	end()
@@ -333,6 +368,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 
 	// Regularity-driven logic compaction (the span also covers the
 	// buffer-insertion tail of logic synthesis).
+	if fe := stageFault(d, cfg, "compact"); fe != nil {
+		return nil, nil, fe
+	}
 	end = cfg.Trace.Stage("compact")
 	impl := mapped.Netlist
 	if !cfg.SkipCompaction {
@@ -361,6 +399,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	end()
 
 	if cfg.Verify {
+		if fe := stageFault(d, cfg, "verify"); fe != nil {
+			return nil, nil, fe
+		}
 		end = cfg.Trace.Stage("verify")
 		err := netlist.Equivalent(rtlNet, impl, 8, 4, cfg.Seed+77)
 		end()
@@ -380,16 +421,33 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	if cfg.Defects != nil {
 		popts.Blocked = cfg.Defects.Stuck
 	}
+	if fe := stageFault(d, cfg, "place"); fe != nil {
+		return nil, nil, fe
+	}
 	end = cfg.Trace.Stage("place")
 	prob, err := place.Build(impl, place.ArchArea(cfg.Arch), popts)
 	if err != nil {
 		end()
 		return nil, nil, flowErr(d, cfg, "place", err)
 	}
-	err = prob.Anneal(place.Options{
-		Seed: cfg.Seed, MovesPerObj: cfg.PlaceEffort, Ctx: ctx,
-		Workers: cfg.PlaceWorkers, Trace: cfg.Trace.Anneal(),
-	})
+	// Stage-granular build cache: a stored post-refinement snapshot
+	// with this run's exact placement inputs replaces annealing and
+	// refinement wholesale — downstream stages read only the object
+	// coordinates the snapshot restores bit-identically.
+	ckptKey := ""
+	restored := false
+	if cfg.Checkpoints != nil {
+		ckptKey = placeCheckpointKey(d, cfg)
+		if pos, ok := loadPlaceCheckpoint(cfg.Checkpoints, ckptKey); ok {
+			restored = prob.SetPositions(pos) == nil
+		}
+	}
+	if !restored {
+		err = prob.Anneal(place.Options{
+			Seed: cfg.Seed, MovesPerObj: cfg.PlaceEffort, Ctx: ctx,
+			Workers: cfg.PlaceWorkers, Trace: cfg.Trace.Anneal(),
+		})
+	}
 	end()
 	if err != nil {
 		if fe := ctxFlowErr(ctx, d, cfg); fe != nil {
@@ -399,6 +457,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	}
 
 	// Pre-layout timing for net weighting and the provisional clock.
+	if fe := stageFault(d, cfg, "sta"); fe != nil {
+		return nil, nil, fe
+	}
 	end = cfg.Trace.Stage("sta")
 	pre, err := sta.Analyze(impl, cfg.Arch, nil, nil, sta.Options{ClockPeriod: cfg.ClockPeriod})
 	end()
@@ -410,15 +471,24 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 		clock = 1.2 * pre.MaxArrival
 	}
 	rep.ClockPeriod = clock
-	end = cfg.Trace.Stage("place")
-	for ni, w := range sta.NetWeights(impl, prob, pre, clock, 4) {
-		prob.SetNetWeight(ni, w)
+	if !restored {
+		// Net weights steer only refinement (nothing downstream reads
+		// them), so the restored path skips the whole block and saves
+		// the snapshot other runs will restore.
+		end = cfg.Trace.Stage("place")
+		for ni, w := range sta.NetWeights(impl, prob, pre, clock, 4) {
+			prob.SetNetWeight(ni, w)
+		}
+		prob.Refine(0.10, 3, cfg.Seed+3)
+		end()
+		savePlaceCheckpoint(cfg.Checkpoints, ckptKey, prob)
 	}
-	prob.Refine(0.10, 3, cfg.Seed+3)
-	end()
 
 	// Flow b: pack into the regular PLB array.
 	if cfg.Flow == FlowB {
+		if fe := stageFault(d, cfg, "pack"); fe != nil {
+			return nil, nil, fe
+		}
 		end = cfg.Trace.Stage("pack")
 		crit := sta.ObjCriticality(impl, prob, pre, clock)
 		pres, err := pack.Run(impl, cfg.Arch, prob, pack.Options{Seed: cfg.Seed, Criticality: crit})
@@ -432,6 +502,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 		rep.Utilization = pres.Utilization()
 		rep.Perturbation = pres.Perturbation
 		// Via personalization of the packed fabric.
+		if fe := stageFault(d, cfg, "viamap"); fe != nil {
+			return nil, nil, fe
+		}
 		end = cfg.Trace.Stage("viamap")
 		vrep, err := viamap.FabricVias(impl, cfg.Arch)
 		end()
@@ -457,6 +530,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	if cfg.Defects != nil {
 		ropts.Faults = cfg.Defects
 	}
+	if fe := stageFault(d, cfg, "route"); fe != nil {
+		return nil, nil, fe
+	}
 	end = cfg.Trace.Stage("route")
 	routes, err := route.Route(prob, ropts)
 	end()
@@ -474,6 +550,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	rep.PeakTrackDemand = routes.MaxUtilization * float64(routes.Capacity())
 
 	// Post-layout static timing.
+	if fe := stageFault(d, cfg, "sta"); fe != nil {
+		return nil, nil, fe
+	}
 	end = cfg.Trace.Stage("sta")
 	post, err := sta.Analyze(impl, cfg.Arch, prob, routes, sta.Options{ClockPeriod: clock})
 	end()
@@ -485,6 +564,9 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	rep.MaxArrival = post.MaxArrival
 
 	// Post-layout power at the run's clock.
+	if fe := stageFault(d, cfg, "power"); fe != nil {
+		return nil, nil, fe
+	}
 	end = cfg.Trace.Stage("power")
 	pw, err := power.Estimate(impl, cfg.Arch, prob, routes, power.Options{ClockPS: clock})
 	end()

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"vpga/internal/artifact"
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/defect"
@@ -278,16 +279,33 @@ func CanonicalKey(namespace string, v any) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// ExecOptions carries the transport-level state a request execution
+// may borrow — observation and acceleration, never meaning: a traced,
+// checkpoint-backed run's report is bit-identical (after StripMetrics)
+// to a bare one, so none of this enters the request or its cache key.
+type ExecOptions struct {
+	// Trace records the run's stage spans and solver counters.
+	Trace *obs.Run
+	// Checkpoints is the stage-granular build cache (see Config).
+	Checkpoints *artifact.Store
+}
+
 // RunRequest resolves and executes a FlowRequest under the flow
 // supervisor: panic isolation, and the bounded repair ladder when the
 // request injects defects. trace optionally records the run's stage
 // spans and solver counters; it is transport state, never part of the
 // request or its cache key.
 func RunRequest(ctx context.Context, req FlowRequest, trace *obs.Run) (*Report, error) {
+	return RunRequestExec(ctx, req, ExecOptions{Trace: trace})
+}
+
+// RunRequestExec is RunRequest with the full set of execution options.
+func RunRequestExec(ctx context.Context, req FlowRequest, opts ExecOptions) (*Report, error) {
 	d, cfg, err := req.Resolve()
 	if err != nil {
 		return nil, err
 	}
-	cfg.Trace = trace
+	cfg.Trace = opts.Trace
+	cfg.Checkpoints = opts.Checkpoints
 	return supervisedRun(ctx, d, cfg, 0)
 }

@@ -1,0 +1,355 @@
+// Package faultinject is the deterministic fault-injection harness of
+// the flow service's crash-safety layer: named fault points (disk
+// writes, ledger appends, journal frames, flow stage boundaries) arm
+// seeded, reproducible faults — injected write errors, torn writes,
+// and process-kill requests — so recovery paths can be soaked under
+// test instead of waiting for real crashes.
+//
+// The package follows internal/obs's zero-cost-when-disabled idiom:
+// the injector is an atomic package-level pointer, and a disabled
+// harness costs exactly one atomic load + nil check per fault point.
+// Decisions are counter-based — point n's verdict is a pure function
+// of (seed, point name, n) — so a soak with a fixed seed replays the
+// same per-point fault sequence every run, independent of wall clock.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected fault wraps:
+// errors.Is(err, ErrInjected) identifies a failure as synthetic and
+// therefore transient — the retry layer re-attempts it, and a real
+// recovery path must treat it exactly like the disk error it models.
+var ErrInjected = errors.New("injected fault")
+
+// Kind is the failure mode a fault point arms.
+type Kind int
+
+const (
+	// KindErrWrite fails the operation with an injected error before
+	// any bytes are written.
+	KindErrWrite Kind = iota
+	// KindTorn persists a prefix of the payload and then fails,
+	// modeling a crash mid-write (a torn frame / truncated line).
+	KindTorn
+	// KindCrash requests a process kill at the fault point, modeling a
+	// SIGKILL landing at a stage boundary. The injector's crash
+	// function runs (default: exit 86); tests override it.
+	KindCrash
+)
+
+// String names the kind as spelled in specs.
+func (k Kind) String() string {
+	switch k {
+	case KindErrWrite:
+		return "errwrite"
+	case KindTorn:
+		return "torn"
+	case KindCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "errwrite":
+		return KindErrWrite, nil
+	case "torn":
+		return KindTorn, nil
+	case "crash":
+		return KindCrash, nil
+	}
+	return 0, fmt.Errorf("faultinject: unknown kind %q (want errwrite, torn or crash)", s)
+}
+
+// Fault is one armed fault at one point: the call site inspects Kind
+// to model the failure (e.g. persist TornBytes before erroring) and
+// returns Err.
+type Fault struct {
+	Point string
+	Kind  Kind
+}
+
+// Err is the injected error a fired fault surfaces; it wraps
+// ErrInjected so retry layers can classify it as transient.
+func (f *Fault) Err() error {
+	return fmt.Errorf("faultinject: %s at %s: %w", f.Kind, f.Point, ErrInjected)
+}
+
+// TornBytes returns the prefix a torn write persists — roughly half
+// the payload, at least one byte — or nil when the fault is not a
+// torn write (or the payload too small to tear).
+func (f *Fault) TornBytes(p []byte) []byte {
+	if f.Kind != KindTorn || len(p) < 2 {
+		return nil
+	}
+	return p[:len(p)/2]
+}
+
+// Injector decides which fault points fire. Construct with New or
+// ParseSpec, activate with Enable.
+type Injector struct {
+	seed  int64
+	rate  float64
+	kinds []Kind
+	// points restricts arming to the named points; empty = every point.
+	// A name ending in "." is a prefix match ("stage." arms every
+	// stage boundary).
+	points []string
+	// CrashFn runs when a KindCrash fault fires (default exits 86).
+	// Tests override it before Enable.
+	CrashFn func(point string)
+
+	mu       sync.Mutex
+	counters map[string]*uint64
+
+	checked  atomic.Int64
+	injected atomic.Int64
+	perKind  [3]atomic.Int64
+}
+
+// New builds an injector firing each listed point (prefix match on a
+// trailing dot; none = all points) with the given per-check
+// probability, cycling deterministically over kinds (empty = errwrite
+// only).
+func New(seed int64, rate float64, kinds []Kind, points ...string) *Injector {
+	if len(kinds) == 0 {
+		kinds = []Kind{KindErrWrite}
+	}
+	return &Injector{
+		seed: seed, rate: rate, kinds: kinds, points: points,
+		counters: map[string]*uint64{},
+		CrashFn: func(point string) {
+			fmt.Fprintf(os.Stderr, "faultinject: crash at %s\n", point)
+			os.Exit(86)
+		},
+	}
+}
+
+// ParseSpec builds an injector from a compact spec string:
+//
+//	seed=7,rate=0.05,kinds=errwrite+torn,points=ledger.append+stage.
+//
+// Fields may come in any order; kinds defaults to errwrite, points to
+// every point. rate is required and must be in (0,1].
+func ParseSpec(spec string) (*Injector, error) {
+	var (
+		seed   int64
+		rate   float64
+		kinds  []Kind
+		points []string
+	)
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: spec field %q is not key=value", field)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: seed %q: %w", v, err)
+			}
+			seed = n
+		case "rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: rate %q: %w", v, err)
+			}
+			rate = f
+		case "kinds":
+			for _, s := range strings.Split(v, "+") {
+				kind, err := parseKind(s)
+				if err != nil {
+					return nil, err
+				}
+				kinds = append(kinds, kind)
+			}
+		case "points":
+			points = append(points, strings.Split(v, "+")...)
+		default:
+			return nil, fmt.Errorf("faultinject: unknown spec key %q", k)
+		}
+	}
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("faultinject: rate %g outside (0,1]", rate)
+	}
+	return New(seed, rate, kinds, points...), nil
+}
+
+// EnvVar is the environment variable FromEnv reads.
+const EnvVar = "VPGA_FAULTS"
+
+// FromEnv builds an injector from $VPGA_FAULTS; nil (and no error)
+// when the variable is unset or empty.
+func FromEnv() (*Injector, error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return nil, nil
+	}
+	return ParseSpec(spec)
+}
+
+// active is the package-level injector; nil = disabled.
+var active atomic.Pointer[Injector]
+
+// Enable installs the injector as the process-wide active harness.
+// Enable(nil) disables injection.
+func Enable(in *Injector) {
+	if in == nil {
+		active.Store(nil)
+		return
+	}
+	active.Store(in)
+}
+
+// Disable turns injection off.
+func Disable() { active.Store(nil) }
+
+// Active returns the process-wide injector, nil when disabled.
+func Active() *Injector { return active.Load() }
+
+// Arm consults the active injector for the named point: nil when
+// injection is disabled, the point is not armed, or this check does
+// not fire. A KindCrash fault invokes the injector's crash function
+// before returning.
+func Arm(point string) *Fault {
+	in := active.Load()
+	if in == nil {
+		return nil
+	}
+	return in.arm(point)
+}
+
+// Check is Arm for call sites that need only an error: torn faults
+// degrade to plain injected errors (no bytes to tear at, say, a stage
+// boundary).
+func Check(point string) error {
+	f := Arm(point)
+	if f == nil {
+		return nil
+	}
+	return f.Err()
+}
+
+func (in *Injector) armed(point string) bool {
+	if len(in.points) == 0 {
+		return true
+	}
+	for _, p := range in.points {
+		if p == point || (strings.HasSuffix(p, ".") && strings.HasPrefix(point, p)) {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Injector) arm(point string) *Fault {
+	if !in.armed(point) {
+		return nil
+	}
+	in.checked.Add(1)
+	in.mu.Lock()
+	ctr := in.counters[point]
+	if ctr == nil {
+		ctr = new(uint64)
+		in.counters[point] = ctr
+	}
+	n := *ctr
+	*ctr++
+	in.mu.Unlock()
+	h := decisionHash(in.seed, point, n)
+	// Top 52 bits → uniform [0,1); fire when below the rate.
+	if float64(h>>12)/float64(1<<52) >= in.rate {
+		return nil
+	}
+	kind := in.kinds[int(decisionHash(in.seed+1, point, n)%uint64(len(in.kinds)))]
+	in.injected.Add(1)
+	in.perKind[kind].Add(1)
+	if kind == KindCrash {
+		in.CrashFn(point)
+	}
+	return &Fault{Point: point, Kind: kind}
+}
+
+// decisionHash is a splitmix64-style mix of (seed, point, n): the
+// whole harness's determinism rests on this being a pure function.
+func decisionHash(seed int64, point string, n uint64) uint64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(point); i++ {
+		h = (h ^ uint64(point[i])) * 0x100000001b3
+	}
+	h ^= n + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Checked reports fault-point evaluations since construction.
+func (in *Injector) Checked() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.checked.Load()
+}
+
+// Injected reports faults fired since construction.
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.injected.Load()
+}
+
+// InjectedKind reports faults fired for one kind.
+func (in *Injector) InjectedKind(k Kind) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.perKind[k].Load()
+}
+
+// Retry runs op up to attempts times, sleeping a jittered exponential
+// backoff between failures (base, 2·base, 4·base … ±50%). onRetry, if
+// non-nil, observes each re-attempt before its backoff sleep. The
+// first nil result wins; the last error is returned otherwise. It is
+// the bounded-retry wrapper the service puts around transient I/O —
+// injected faults are counter-based, so a retry re-arms the fault
+// point and usually passes.
+func Retry(attempts int, base time.Duration, op func() error, onRetry func(attempt int, err error)) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	err := op()
+	for attempt := 1; attempt < attempts && err != nil; attempt++ {
+		if onRetry != nil {
+			onRetry(attempt, err)
+		}
+		if base > 0 {
+			d := base << (attempt - 1)
+			// Jitter ±50% so synchronized retriers spread out; the jitter
+			// source is wall-clock behavior, never result-bearing.
+			d = d/2 + time.Duration(rand.Int63n(int64(d)+1))
+			time.Sleep(d)
+		}
+		err = op()
+	}
+	return err
+}

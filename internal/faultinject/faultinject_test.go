@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// sequence records which of the first n checks at a point fire.
+func sequence(in *Injector, point string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = in.arm(point) != nil
+	}
+	return out
+}
+
+// TestDeterministicSequence is the harness's core property: for a
+// fixed (seed, point), the per-check fire/skip sequence is identical
+// across injector instances — a soak replays the same faults every run.
+func TestDeterministicSequence(t *testing.T) {
+	a := sequence(New(7, 0.3, nil), "journal.append", 200)
+	b := sequence(New(7, 0.3, nil), "journal.append", 200)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("check %d diverged between identical injectors", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.3 fired %d/%d checks", fired, len(a))
+	}
+	// A different seed yields a different sequence.
+	c := sequence(New(8, 0.3, nil), "journal.append", 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical sequences")
+	}
+	// Distinct points have independent sequences (same seed).
+	d := sequence(New(7, 0.3, nil), "ledger.append", 200)
+	same = true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct points produced identical sequences")
+	}
+}
+
+func TestPointFilter(t *testing.T) {
+	in := New(1, 1.0, nil, "ledger.append", "stage.")
+	if in.arm("journal.append") != nil {
+		t.Fatal("unlisted point armed")
+	}
+	if in.arm("ledger.append") == nil {
+		t.Fatal("listed point not armed at rate 1")
+	}
+	if in.arm("stage.place") == nil {
+		t.Fatal("prefix point not armed")
+	}
+	if in.arm("stage") != nil {
+		t.Fatal("bare prefix name armed")
+	}
+	if got := in.Checked(); got != 2 {
+		t.Fatalf("Checked() = %d, want 2 (unarmed points don't count)", got)
+	}
+}
+
+func TestKindsCycleAndCounters(t *testing.T) {
+	in := New(3, 1.0, []Kind{KindErrWrite, KindTorn})
+	for i := 0; i < 50; i++ {
+		f := in.arm("p")
+		if f == nil {
+			t.Fatalf("rate 1 skipped check %d", i)
+		}
+		if !errors.Is(f.Err(), ErrInjected) {
+			t.Fatal("fault error does not wrap ErrInjected")
+		}
+	}
+	if in.Injected() != 50 {
+		t.Fatalf("Injected() = %d", in.Injected())
+	}
+	ew, torn := in.InjectedKind(KindErrWrite), in.InjectedKind(KindTorn)
+	if ew+torn != 50 || ew == 0 || torn == 0 {
+		t.Fatalf("kind split errwrite=%d torn=%d", ew, torn)
+	}
+}
+
+func TestCrashKindInvokesCrashFn(t *testing.T) {
+	in := New(5, 1.0, []Kind{KindCrash})
+	var crashed string
+	in.CrashFn = func(point string) { crashed = point }
+	if f := in.arm("stage.route"); f == nil || f.Kind != KindCrash {
+		t.Fatalf("crash fault not armed: %+v", f)
+	}
+	if crashed != "stage.route" {
+		t.Fatalf("CrashFn saw %q", crashed)
+	}
+}
+
+func TestTornBytes(t *testing.T) {
+	f := &Fault{Point: "p", Kind: KindTorn}
+	if got := f.TornBytes([]byte("abcdefgh")); string(got) != "abcd" {
+		t.Fatalf("TornBytes = %q", got)
+	}
+	if f.TornBytes([]byte("a")) != nil {
+		t.Fatal("1-byte payload tore")
+	}
+	ew := &Fault{Point: "p", Kind: KindErrWrite}
+	if ew.TornBytes([]byte("abcdefgh")) != nil {
+		t.Fatal("errwrite fault tore bytes")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("seed=7,rate=0.05,kinds=errwrite+torn,points=ledger.append+stage.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.seed != 7 || in.rate != 0.05 || len(in.kinds) != 2 || len(in.points) != 2 {
+		t.Fatalf("parsed %+v", in)
+	}
+	for _, bad := range []string{
+		"rate=0", "rate=1.5", "seed=7", "rate=x", "kinds=frob,rate=0.1",
+		"nonsense", "what=ever,rate=0.1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q parsed", bad)
+		}
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	t.Cleanup(Disable)
+	Disable()
+	if Arm("p") != nil || Check("p") != nil || Active() != nil {
+		t.Fatal("disabled harness armed a fault")
+	}
+	Enable(New(1, 1.0, nil))
+	if Check("p") == nil {
+		t.Fatal("enabled harness at rate 1 did not fire")
+	}
+	Disable()
+	if Check("p") != nil {
+		t.Fatal("disable did not stick")
+	}
+	// Nil-safe counter accessors.
+	var nilIn *Injector
+	if nilIn.Checked() != 0 || nilIn.Injected() != 0 || nilIn.InjectedKind(KindTorn) != 0 {
+		t.Fatal("nil injector counters")
+	}
+}
+
+func TestRetry(t *testing.T) {
+	calls, retries := 0, 0
+	err := Retry(3, time.Microsecond, func() error {
+		calls++
+		if calls < 3 {
+			return ErrInjected
+		}
+		return nil
+	}, func(int, error) { retries++ })
+	if err != nil || calls != 3 || retries != 2 {
+		t.Fatalf("err=%v calls=%d retries=%d", err, calls, retries)
+	}
+	// Exhausted attempts surface the last error.
+	boom := errors.New("boom")
+	if err := Retry(2, 0, func() error { return boom }, nil); !errors.Is(err, boom) {
+		t.Fatalf("exhausted retry: %v", err)
+	}
+	// attempts < 1 still runs once.
+	calls = 0
+	if err := Retry(0, 0, func() error { calls++; return nil }, nil); err != nil || calls != 1 {
+		t.Fatalf("attempts=0: err=%v calls=%d", err, calls)
+	}
+}

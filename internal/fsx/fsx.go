@@ -1,0 +1,82 @@
+// Package fsx holds the crash-safe filesystem primitives the flow
+// service's durability layer is built on: atomic whole-file writes
+// (temp file + fsync + rename) so a crash can never leave a torn file
+// at a published path — only a stale previous version or a leftover
+// temp file no reader looks at.
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes the content produced by write to path
+// atomically: the bytes go to a same-directory temp file, which is
+// fsynced, closed and renamed over path. Readers therefore see either
+// the previous complete file or the new complete file, never a torn
+// intermediate. The containing directory is created if missing and
+// best-effort synced after the rename so the new directory entry is
+// itself durable.
+func WriteFileAtomic(path string, perm os.FileMode, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("fsx: dir for %s: %w", path, err)
+		}
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsx: temp for %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("fsx: chmod %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("fsx: sync %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		tmp = nil
+		return fmt.Errorf("fsx: close %s: %w", name, err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		tmp = nil
+		return fmt.Errorf("fsx: publish %s: %w", path, err)
+	}
+	tmp = nil
+	syncDir(dir)
+	return nil
+}
+
+// WriteFileBytesAtomic is WriteFileAtomic for a ready byte slice.
+func WriteFileBytesAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteFileAtomic(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir best-effort fsyncs a directory so a just-renamed entry
+// survives power loss. Some filesystems reject directory fsync; that
+// is not worth failing a write that already landed atomically.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

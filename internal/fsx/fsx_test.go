@@ -1,0 +1,65 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "nested", "dir", "out.txt")
+	if err := WriteFileBytesAtomic(p, []byte("hello"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	// Overwrite publishes the new content completely.
+	if err := WriteFileBytesAtomic(p, []byte("second version"), 0o644); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, _ = os.ReadFile(p)
+	if string(got) != "second version" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+// TestWriteFileAtomicWriterError: a failing writer callback must leave
+// the published path untouched and no temp litter behind.
+func TestWriteFileAtomicWriterError(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.txt")
+	if err := WriteFileBytesAtomic(p, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(p, 0o644, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	got, _ := os.ReadFile(p)
+	if string(got) != "original" {
+		t.Fatalf("published file clobbered: %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp litter left behind: %d entries", len(ents))
+	}
+}
+
+func TestWriteFileAtomicPerm(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteFileBytesAtomic(p, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Fatalf("perm %v, want 0600", st.Mode().Perm())
+	}
+}

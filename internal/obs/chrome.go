@@ -4,9 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"time"
+
+	"vpga/internal/fsx"
 )
 
 // chromeEvent is one entry of the Chrome trace-event JSON array
@@ -115,17 +116,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	return enc.Encode(events)
 }
 
-// WriteChromeTraceFile writes the Chrome trace to path, creating or
-// truncating the file. A close error is reported so a full disk does
-// not pass silently.
+// WriteChromeTraceFile writes the Chrome trace to path atomically
+// (temp file + fsync + rename), so an interrupted write leaves the
+// previous trace intact instead of a truncated JSON array.
 func (t *Tracer) WriteChromeTraceFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.WriteChromeTrace(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsx.WriteFileAtomic(path, 0o644, t.WriteChromeTrace)
 }

@@ -10,12 +10,13 @@ import (
 )
 
 // TestWriteChromeTraceFileErrors: unwritable paths surface errors
-// instead of passing silently, and an empty (but live) tracer still
+// instead of passing silently, missing parent directories are created
+// (the write is atomic via fsx), and an empty (but live) tracer still
 // writes a valid, loadable trace.
 func TestWriteChromeTraceFileErrors(t *testing.T) {
 	tr := NewTracer()
-	if err := tr.WriteChromeTraceFile(filepath.Join(t.TempDir(), "missing", "trace.json")); err == nil {
-		t.Fatal("write into a missing directory passed")
+	if err := tr.WriteChromeTraceFile(filepath.Join(t.TempDir(), "missing", "trace.json")); err != nil {
+		t.Fatalf("missing parent directory not created: %v", err)
 	}
 	if err := tr.WriteChromeTraceFile(t.TempDir()); err == nil {
 		t.Fatal("write onto a directory passed")

@@ -1,0 +1,33 @@
+package place
+
+import "fmt"
+
+// Positions snapshots every object's coordinates as a flat
+// (x0,y0,x1,y1,...) slice in object order — the complete placement
+// state a checkpoint needs: the SoA kernel mirrors, net boxes and
+// annealer scratch are all rebuilt from Objs coordinates on the next
+// Anneal/Refine, so restoring these floats restores the placement.
+func (p *Problem) Positions() []float64 {
+	pos := make([]float64, 2*len(p.Objs))
+	for i := range p.Objs {
+		pos[2*i] = p.Objs[i].X
+		pos[2*i+1] = p.Objs[i].Y
+	}
+	return pos
+}
+
+// SetPositions restores a snapshot taken by Positions onto a problem
+// built from the same netlist. The length must match exactly — a
+// mismatch means the checkpoint belongs to a different problem and
+// restoring it would scatter objects arbitrarily.
+func (p *Problem) SetPositions(pos []float64) error {
+	if len(pos) != 2*len(p.Objs) {
+		return fmt.Errorf("place: position snapshot holds %d coords, problem has %d objects (want %d)",
+			len(pos), len(p.Objs), 2*len(p.Objs))
+	}
+	for i := range p.Objs {
+		p.Objs[i].X = pos[2*i]
+		p.Objs[i].Y = pos[2*i+1]
+	}
+	return nil
+}

@@ -5,9 +5,10 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
+
+	"vpga/internal/fsx"
 )
 
 // Tolerance is the drift gate's per-metric band: relative limits for
@@ -259,7 +260,9 @@ func ReadBaseline(path string) (*Baseline, error) {
 
 // WriteBaseline writes the baseline as stable, indented JSON (it is a
 // committed file, so diffs must be reviewable). Records are stored
-// perf-stripped and sorted by ID.
+// perf-stripped and sorted by ID. The write is atomic (temp file +
+// fsync + rename): a baseline refresh interrupted mid-write leaves the
+// previous baseline intact instead of a truncated gate input.
 func WriteBaseline(path string, b *Baseline) error {
 	b.Schema = SchemaVersion
 	recs := append([]Record(nil), b.Records...)
@@ -272,10 +275,5 @@ func WriteBaseline(path string, b *Baseline) error {
 	if err != nil {
 		return fmt.Errorf("qor: encode baseline: %w", err)
 	}
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("qor: baseline dir: %w", err)
-		}
-	}
-	return os.WriteFile(path, append(enc, '\n'), 0o644)
+	return fsx.WriteFileBytesAtomic(path, append(enc, '\n'), 0o644)
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"vpga/internal/core"
+	"vpga/internal/faultinject"
 )
 
 // SchemaVersion is the ledger record schema. Readers accept records at
@@ -160,9 +161,17 @@ func Write(w io.Writer, recs ...Record) error {
 
 // Append appends records to the ledger at path, creating the file (and
 // its directory) on first use. The ledger is append-only by
-// construction: existing lines are never rewritten, so concurrent
-// history survives crashes mid-append at worst as one truncated final
-// line, which Read skips with an error naming the line.
+// construction: existing lines are never rewritten, so history
+// survives a crash mid-append at worst as one truncated final line,
+// which ReadAll skips as a torn tail. A failed in-process append
+// additionally truncates the file back to its pre-append length, so a
+// bounded retry starts from a clean tail instead of stacking partial
+// lines mid-file (the daemon is the ledger's single writer; the
+// truncation would be unsafe only with concurrent appender processes).
+//
+// The "ledger.append" fault point fires here: an injected torn write
+// persists half the batch before erroring, exactly the artifact a real
+// crash leaves.
 func Append(path string, recs ...Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -183,49 +192,117 @@ func Append(path string, recs ...Record) error {
 		f.Close()
 		return err
 	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("qor: stat ledger: %w", err)
+	}
+	undo := func() {
+		f.Truncate(st.Size())
+	}
+	if flt := faultinject.Arm("ledger.append"); flt != nil {
+		if torn := flt.TornBytes(buf.Bytes()); torn != nil {
+			f.Write(torn)
+		}
+		undo()
+		f.Close()
+		return fmt.Errorf("qor: append ledger: %w", flt.Err())
+	}
 	if _, err := f.Write(buf.Bytes()); err != nil {
+		undo()
 		f.Close()
 		return fmt.Errorf("qor: append ledger: %w", err)
 	}
 	return f.Close()
 }
 
+// ReadStats reports what a ledger read skipped. A torn tail — the
+// final non-blank line failing to parse, the artifact of a crash
+// mid-append — is tolerated and surfaced here instead of failing the
+// whole read; corruption anywhere else stays a hard error, because a
+// bad line with valid lines after it is not a crash artifact.
+type ReadStats struct {
+	// Lines is the number of physical lines scanned.
+	Lines int
+	// TornTail is true when the final non-blank line was skipped.
+	TornTail bool
+	// TornLine and TornErr locate and describe the skipped line.
+	TornLine int
+	TornErr  string
+}
+
 // ReadAll decodes a JSONL ledger stream. Blank lines are skipped;
 // unknown fields are tolerated (forward compatibility), but a record
-// from a newer schema than this reader understands is an error.
+// from a newer schema than this reader understands is an error. A
+// truncated trailing line (torn write) is skipped silently; use
+// ReadAllStats to observe the skip.
 func ReadAll(r io.Reader) ([]Record, error) {
-	var recs []Record
+	recs, _, err := ReadAllStats(r)
+	return recs, err
+}
+
+// ReadAllStats is ReadAll returning skip diagnostics alongside the
+// records.
+func ReadAllStats(r io.Reader) ([]Record, ReadStats, error) {
+	var (
+		recs  []Record
+		stats ReadStats
+	)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	line := 0
+	// A parse failure is held pending one line: if any non-blank line
+	// follows it the corruption is mid-file and fatal; if the stream
+	// ends first it is a torn tail and skipped.
+	pendingLine := 0
+	var pendingErr error
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
+		if pendingErr != nil {
+			stats.Lines = line
+			return recs, stats, fmt.Errorf("qor: ledger line %d: %w", pendingLine, pendingErr)
+		}
 		var rec Record
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return recs, fmt.Errorf("qor: ledger line %d: %w", line, err)
+			pendingLine, pendingErr = line, err
+			continue
 		}
 		if rec.Schema > SchemaVersion {
-			return recs, fmt.Errorf("qor: ledger line %d: schema %d newer than supported %d",
+			stats.Lines = line
+			return recs, stats, fmt.Errorf("qor: ledger line %d: schema %d newer than supported %d",
 				line, rec.Schema, SchemaVersion)
 		}
 		recs = append(recs, rec)
 	}
+	stats.Lines = line
 	if err := sc.Err(); err != nil {
-		return recs, fmt.Errorf("qor: ledger line %d: %w", line, err)
+		return recs, stats, fmt.Errorf("qor: ledger line %d: %w", line, err)
 	}
-	return recs, nil
+	if pendingErr != nil {
+		stats.TornTail = true
+		stats.TornLine = pendingLine
+		stats.TornErr = pendingErr.Error()
+	}
+	return recs, stats, nil
 }
 
-// Read loads the ledger at path.
+// Read loads the ledger at path, skipping a torn trailing line.
 func Read(path string) ([]Record, error) {
+	recs, _, err := ReadStatsFile(path)
+	return recs, err
+}
+
+// ReadStatsFile is Read returning skip diagnostics, so callers can
+// warn about a torn tail instead of losing the signal.
+func ReadStatsFile(path string) ([]Record, ReadStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("qor: %w", err)
+		return nil, ReadStats{}, fmt.Errorf("qor: %w", err)
 	}
 	defer f.Close()
-	return ReadAll(f)
+	return ReadAllStats(f)
 }

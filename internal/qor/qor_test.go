@@ -3,6 +3,7 @@ package qor
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"vpga/internal/core"
+	"vpga/internal/faultinject"
 	"vpga/internal/obs"
 )
 
@@ -55,13 +57,16 @@ func TestLedgerRoundTrip(t *testing.T) {
 	}
 }
 
-// TestLedgerReadErrors: truncated lines and future schemas are named
-// errors, blank lines are skipped.
+// TestLedgerReadErrors: mid-file corruption and future schemas are
+// named errors, blank lines are skipped.
 func TestLedgerReadErrors(t *testing.T) {
-	if _, err := ReadAll(strings.NewReader(`{"schema":1,"bench":"a"`)); err == nil {
-		t.Fatal("truncated line passed")
+	// A bad line with a valid line after it is mid-file corruption,
+	// not a crash artifact: still fatal, naming the line.
+	bad := `{"schema":1,"bench":"a"` + "\n" + `{"schema":1,"bench":"b","arch":"x","flow":"a"}`
+	if _, err := ReadAll(strings.NewReader(bad)); err == nil {
+		t.Fatal("mid-file corruption passed")
 	} else if !strings.Contains(err.Error(), "line 1") {
-		t.Fatalf("truncation error does not name the line: %v", err)
+		t.Fatalf("corruption error does not name the line: %v", err)
 	}
 	if _, err := ReadAll(strings.NewReader(`{"schema":99,"bench":"a","arch":"x","flow":"a"}`)); err == nil {
 		t.Fatal("future schema passed")
@@ -73,6 +78,88 @@ func TestLedgerReadErrors(t *testing.T) {
 	// Unknown fields from a same-schema writer are tolerated.
 	if _, err := ReadAll(strings.NewReader(`{"schema":1,"bench":"a","arch":"x","flow":"a","later_field":1}`)); err != nil {
 		t.Fatalf("unknown field rejected: %v", err)
+	}
+}
+
+// TestLedgerTornTail: a truncated final line — the artifact of a
+// crash mid-append — is skipped with diagnostics instead of failing
+// the read; the preceding complete records survive.
+func TestLedgerTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	first := sampleRecord()
+	second := sampleRecord()
+	second.Seed = 8
+	second.Yield = 0
+	second.StageSeconds = nil
+	if err := Append(path, first, second); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Tear the tail: re-append a record, then chop the file mid-line.
+	third := sampleRecord()
+	third.Seed = 9
+	if err := Append(path, third); err != nil {
+		t.Fatalf("append 3: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := bytes.LastIndexByte(bytes.TrimRight(raw, "\n"), '\n')
+	torn := raw[:cut+1+20] // keep 20 bytes of the final line
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := ReadStatsFile(path)
+	if err != nil {
+		t.Fatalf("torn tail failed the read: %v", err)
+	}
+	if want := []Record{first, second}; !reflect.DeepEqual(recs, want) {
+		t.Fatalf("torn-tail records:\ngot  %+v\nwant %+v", recs, want)
+	}
+	if !stats.TornTail || stats.TornLine != 3 || stats.TornErr == "" {
+		t.Fatalf("torn-tail stats not surfaced: %+v", stats)
+	}
+	// Read (the plain loader) tolerates it too.
+	if recs, err := Read(path); err != nil || len(recs) != 2 {
+		t.Fatalf("Read on torn ledger: %v (%d records)", err, len(recs))
+	}
+}
+
+// TestLedgerAppendFaultTruncatesBack: an injected torn append leaves
+// bytes on disk, but the failed Append truncates back to the pre-append
+// length so a retry starts from a clean tail.
+func TestLedgerAppendFaultTruncatesBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := Append(path, sampleRecord()); err != nil {
+		t.Fatalf("seed append: %v", err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New(1, 1.0, []faultinject.Kind{faultinject.KindTorn}, "ledger.append")
+	faultinject.Enable(in)
+	t.Cleanup(faultinject.Disable)
+	rec := sampleRecord()
+	rec.Seed = 99
+	err = Append(path, rec)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("failed append left bytes behind: %d -> %d", len(before), len(after))
+	}
+	faultinject.Disable()
+	if err := Append(path, rec); err != nil {
+		t.Fatalf("retry append: %v", err)
+	}
+	recs, err := Read(path)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("post-retry read: %v (%d records)", err, len(recs))
 	}
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -84,21 +85,92 @@ type MatrixResult struct {
 	Claims  *core.Claims                                  `json:"claims,omitempty"`
 }
 
-// handleMatrix serves POST /v1/matrix.
-func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
-	var req MatrixRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+// buildJob rebuilds a job of the given kind from its canonical JSON
+// body. It is the one constructor both paths share: the HTTP handlers
+// (which journal the body on acceptance) and journal replay (which
+// reads it back after a crash) — so a replayed job is the submitted
+// job, not an approximation of it.
+func (s *Server) buildJob(kind string, body []byte) (*job, error) {
+	switch kind {
+	case "run":
+		var req core.FlowRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("request body: %w", err)
+		}
+		return s.buildRunJob(req)
+	case "matrix":
+		var req MatrixRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("request body: %w", err)
+		}
+		return s.buildMatrixJob(req)
+	case "sweep/granularity":
+		var req SweepRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("request body: %w", err)
+		}
+		return s.buildGranularitySweepJob(req)
+	case "sweep/routing":
+		var req SweepRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("request body: %w", err)
+		}
+		return s.buildRoutingSweepJob(req)
 	}
+	return nil, fmt.Errorf("unknown job kind %q", kind)
+}
+
+// setBody stamps the job's canonical journal body; a failure leaves
+// body nil, which simply makes the job non-journaled (and therefore
+// lost to a crash — never wrong).
+func (j *job) setBody(req any) {
+	if enc, err := json.Marshal(req); err == nil {
+		j.body = enc
+	}
+}
+
+// buildRunJob validates a flow-run request and assembles its job.
+func (s *Server) buildRunJob(req core.FlowRequest) (*job, error) {
+	key, err := req.CacheKey()
+	if err != nil {
+		return nil, err
+	}
+	n := req.Normalize()
+	label := n.Design + n.Name + "/" + n.Arch.Kind + "/flow " + n.Flow
+	j := s.newJob("run", key, label, func(ctx context.Context, tr *obs.Tracer) (any, error) {
+		run := tr.NewRun(label)
+		defer run.Close()
+		return core.RunRequestExec(ctx, req, core.ExecOptions{
+			Trace: run, Checkpoints: s.store,
+		})
+	})
+	// Cache a metrics-stripped deep clone: wall-clock artifacts are
+	// execution state, not content, and the cache must never alias a
+	// report already handed to a response encoder.
+	j.cachePrep = func(v any) any {
+		rep := v.(*core.Report).Clone()
+		rep.StripMetrics()
+		return rep
+	}
+	j.ledger = func(v any) []qor.Record {
+		rep, ok := v.(*core.Report)
+		if !ok || rep == nil {
+			return nil
+		}
+		return []qor.Record{qor.FromReport(rep, n.Seed, key)}
+	}
+	j.setBody(req)
+	return j, nil
+}
+
+// buildMatrixJob validates a matrix request and assembles its job.
+func (s *Server) buildMatrixJob(req MatrixRequest) (*job, error) {
 	if err := req.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	key, err := req.cacheKey()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	n := req.normalize()
 	j := s.newJob("matrix", key, "matrix/"+n.Scale, func(ctx context.Context, tr *obs.Tracer) (any, error) {
@@ -149,6 +221,38 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		}
 		sort.Slice(recs, func(i, k int) bool { return recs[i].ID() < recs[k].ID() })
 		return recs
+	}
+	j.setBody(req)
+	return j, nil
+}
+
+// handleRun serves POST /v1/runs: one flow run described by a
+// canonical core.FlowRequest.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req core.FlowRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.buildRunJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.dispatch(w, r, j)
+}
+
+// handleMatrix serves POST /v1/matrix.
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.buildMatrixJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	s.dispatch(w, r, j)
 }
@@ -215,6 +319,72 @@ func (r SweepRequest) resolveDesign() (bench.Design, error) {
 	return core.ResolveDesign(n.Design, n.Scale, n.RTL, n.Name)
 }
 
+// buildGranularitySweepJob validates a granularity-sweep request and
+// assembles its job.
+func (s *Server) buildGranularitySweepJob(req SweepRequest) (*job, error) {
+	d, err := req.resolveDesign()
+	if err != nil {
+		return nil, err
+	}
+	archs := core.DefaultSweepArchs()
+	if len(req.Archs) > 0 {
+		archs = make([]*cells.PLBArch, len(req.Archs))
+		for i, spec := range req.Archs {
+			if archs[i], err = spec.Resolve(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	key, err := req.cacheKey("sweep/granularity")
+	if err != nil {
+		return nil, err
+	}
+	j := s.newJob("sweep/granularity", key, "sweep/"+d.Name, func(ctx context.Context, tr *obs.Tracer) (any, error) {
+		return core.RunGranularitySweep(ctx, d, archs, core.SweepOptions{
+			Seed: req.Seed, Parallel: req.Parallel, Trace: tr,
+		})
+	})
+	j.setBody(req)
+	return j, nil
+}
+
+// buildRoutingSweepJob validates a routing-sweep request and
+// assembles its job.
+func (s *Server) buildRoutingSweepJob(req SweepRequest) (*job, error) {
+	d, err := req.resolveDesign()
+	if err != nil {
+		return nil, err
+	}
+	spec := core.ArchSpec{}
+	if req.Arch != nil {
+		spec = *req.Arch
+	}
+	arch, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	capacities := req.Capacities
+	if len(capacities) == 0 {
+		capacities = []int{4, 8, 16, 32, 64}
+	}
+	for _, c := range capacities {
+		if c < 1 {
+			return nil, fmt.Errorf("capacity %d < 1", c)
+		}
+	}
+	key, err := req.cacheKey("sweep/routing")
+	if err != nil {
+		return nil, err
+	}
+	j := s.newJob("sweep/routing", key, "routing/"+d.Name, func(ctx context.Context, tr *obs.Tracer) (any, error) {
+		return core.RunRoutingSweep(ctx, d, arch, capacities, core.SweepOptions{
+			Seed: req.Seed, Parallel: req.Parallel, Trace: tr,
+		})
+	})
+	j.setBody(req)
+	return j, nil
+}
+
 // handleGranularitySweep serves POST /v1/sweeps/granularity.
 func (s *Server) handleGranularitySweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
@@ -222,31 +392,11 @@ func (s *Server) handleGranularitySweep(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	d, err := req.resolveDesign()
+	j, err := s.buildGranularitySweepJob(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	archs := core.DefaultSweepArchs()
-	if len(req.Archs) > 0 {
-		archs = make([]*cells.PLBArch, len(req.Archs))
-		for i, spec := range req.Archs {
-			if archs[i], err = spec.Resolve(); err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-		}
-	}
-	key, err := req.cacheKey("sweep/granularity")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	j := s.newJob("sweep/granularity", key, "sweep/"+d.Name, func(ctx context.Context, tr *obs.Tracer) (any, error) {
-		return core.RunGranularitySweep(ctx, d, archs, core.SweepOptions{
-			Seed: req.Seed, Parallel: req.Parallel, Trace: tr,
-		})
-	})
 	s.dispatch(w, r, j)
 }
 
@@ -257,39 +407,45 @@ func (s *Server) handleRoutingSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	d, err := req.resolveDesign()
+	j, err := s.buildRoutingSweepJob(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	spec := core.ArchSpec{}
-	if req.Arch != nil {
-		spec = *req.Arch
-	}
-	arch, err := spec.Resolve()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	capacities := req.Capacities
-	if len(capacities) == 0 {
-		capacities = []int{4, 8, 16, 32, 64}
-	}
-	for _, c := range capacities {
-		if c < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("capacity %d < 1", c))
-			return
-		}
-	}
-	key, err := req.cacheKey("sweep/routing")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	j := s.newJob("sweep/routing", key, "routing/"+d.Name, func(ctx context.Context, tr *obs.Tracer) (any, error) {
-		return core.RunRoutingSweep(ctx, d, arch, capacities, core.SweepOptions{
-			Seed: req.Seed, Parallel: req.Parallel, Trace: tr,
-		})
-	})
 	s.dispatch(w, r, j)
+}
+
+// decodeStored revives a persisted result payload as the live value
+// its kind serves — the inverse of the JSON encoding persistResult
+// stored. Any decode failure is a miss (the store's contract: corrupt
+// or unreadable entries are recomputed, never fatal).
+func decodeStored(kind string, raw []byte) (any, bool) {
+	var (
+		v   any
+		err error
+	)
+	switch kind {
+	case "run":
+		rep := &core.Report{}
+		err = json.Unmarshal(raw, rep)
+		v = rep
+	case "matrix":
+		var m MatrixResult
+		err = json.Unmarshal(raw, &m)
+		v = m
+	case "sweep/granularity":
+		var pts []core.SweepPoint
+		err = json.Unmarshal(raw, &pts)
+		v = pts
+	case "sweep/routing":
+		var pts []core.RoutingPoint
+		err = json.Unmarshal(raw, &pts)
+		v = pts
+	default:
+		return nil, false
+	}
+	if err != nil {
+		return nil, false
+	}
+	return v, true
 }

@@ -29,13 +29,16 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"vpga/internal/artifact"
 	"vpga/internal/core"
+	"vpga/internal/faultinject"
 	"vpga/internal/obs"
 	"vpga/internal/qor"
 )
@@ -63,6 +66,14 @@ type Options struct {
 	// ledger at that path — the durable QoR history the drift gate
 	// consumes. Append failures are counted, never fatal.
 	LedgerPath string
+	// DataDir, when set, turns on the crash-safety layer rooted there:
+	// a CRC-framed job journal (DataDir/journal.wal) replayed on
+	// restart — incomplete jobs are re-enqueued under their original
+	// IDs — and a checksummed content-addressed artifact store
+	// (DataDir/artifacts) that persists completed results and
+	// placement checkpoints across restarts. Empty = in-memory only,
+	// exactly the pre-journal behavior.
+	DataDir string
 
 	// testJobStart, when set by a test, runs at the top of every job on
 	// its worker goroutine — tests block here to hold jobs "running"
@@ -102,6 +113,12 @@ type job struct {
 	exec      func(ctx context.Context, tr *obs.Tracer) (any, error)
 	cachePrep func(any) any
 	ledger    func(any) []qor.Record
+	// body is the canonical JSON of the originating request — what the
+	// journal persists on acceptance so replay can rebuild the job
+	// (nil = not journaled).
+	body []byte
+	// replayed marks a job rebuilt from the journal after a restart.
+	replayed bool
 
 	done chan struct{} // closed when the job reaches done/failed
 
@@ -168,9 +185,15 @@ type Server struct {
 	cache *lru
 	queue chan *job
 
+	// Crash-safety layer (nil when Options.DataDir is empty): the job
+	// journal and the persistent artifact store.
+	journal *journal
+	store   *artifact.Store
+
 	mu        sync.Mutex
 	jobs      map[string]*job
-	doneOrder []string // completed jobs, oldest first, for eviction
+	inflight  map[string]*job // queued/running jobs by cache key (dedupe)
+	doneOrder []string        // completed jobs, oldest first, for eviction
 	draining  bool
 
 	baseCtx context.Context
@@ -185,6 +208,8 @@ type Server struct {
 	timeouts                         atomic.Int64
 	running                          atomic.Int64
 	ledgerRecords, ledgerErrors      atomic.Int64
+	replayed                         atomic.Int64
+	ioRetries, ioRecoveries          atomic.Int64
 
 	// Latency histograms (zero-dependency log buckets; see histogram.go).
 	jobDur    *histogram
@@ -192,19 +217,41 @@ type Server struct {
 	stageDur  *histogramVec
 }
 
-// New starts a Server: its worker pool runs until Shutdown.
-func New(opts Options) *Server {
+// New starts a Server: its worker pool runs until Shutdown. With
+// Options.DataDir set, New opens the journal and artifact store,
+// replays the journal, and re-enqueues every job that never reached a
+// terminal state before the last shutdown or crash.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	var (
+		store   *artifact.Store
+		jn      *journal
+		pending []journalEntry
+		err     error
+	)
+	if opts.DataDir != "" {
+		store, err = artifact.Open(filepath.Join(opts.DataDir, "artifacts"))
+		if err != nil {
+			return nil, err
+		}
+		jn, pending, err = openJournal(filepath.Join(opts.DataDir, "journal.wal"))
+		if err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:    opts,
-		mux:     http.NewServeMux(),
-		cache:   newLRU(opts.CacheSize),
-		queue:   make(chan *job, opts.QueueDepth),
-		jobs:    make(map[string]*job),
-		baseCtx: ctx,
-		cancel:  cancel,
-		start:   time.Now(),
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		cache:    newLRU(opts.CacheSize),
+		queue:    make(chan *job, opts.QueueDepth),
+		journal:  jn,
+		store:    store,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		start:    time.Now(),
 
 		jobDur:    &histogram{},
 		queueWait: &histogram{},
@@ -223,7 +270,139 @@ func New(opts Options) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	if jn != nil {
+		s.replayJournal(pending)
+	}
+	return s, nil
+}
+
+// replayJournal reconstructs job state from the replayed entries:
+// jobs with a terminal entry are history (their results live in the
+// artifact store, keyed by content address); jobs without one are
+// rebuilt from their journaled bodies and re-enqueued under their
+// original IDs, so a client polling a pre-crash job ID keeps working
+// across the restart. The journal is then compacted down to the
+// still-incomplete accepted entries.
+func (s *Server) replayJournal(entries []journalEntry) {
+	type acc struct {
+		entry    journalEntry
+		terminal bool
+	}
+	var (
+		order []string
+		byID  = map[string]*acc{}
+		maxID int64
+	)
+	for _, e := range entries {
+		if n := jobIDNum(e.ID); n > maxID {
+			maxID = n
+		}
+		switch e.State {
+		case "accepted":
+			if byID[e.ID] == nil {
+				byID[e.ID] = &acc{entry: e}
+				order = append(order, e.ID)
+			}
+		case "done", "failed":
+			if a := byID[e.ID]; a != nil {
+				a.terminal = true
+			}
+		}
+	}
+	// Resume the ID sequence past every journaled job, so replayed IDs
+	// never collide with fresh submissions.
+	if maxID > s.nextID.Load() {
+		s.nextID.Store(maxID)
+	}
+	var (
+		jobs []*job
+		keep []journalEntry
+	)
+	for _, id := range order {
+		a := byID[id]
+		if a.terminal {
+			continue
+		}
+		j, err := s.buildJob(a.entry.Kind, a.entry.Body)
+		if err != nil {
+			// The body no longer builds (schema drift); drop the job —
+			// the client's resubmission will be validated afresh.
+			continue
+		}
+		j.id = id
+		j.replayed = true
+		jobs = append(jobs, j)
+		e := a.entry
+		e.Seq = int64(len(keep) + 1)
+		keep = append(keep, e)
+	}
+	s.journal.compact(keep)
+	if len(jobs) > 0 {
+		go s.enqueueReplay(jobs)
+	}
+}
+
+// jobIDNum extracts the numeric part of a "j%06d" job ID (0 when the
+// ID is not of that shape).
+func jobIDNum(id string) int64 {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// enqueueReplay feeds replayed jobs into the queue with blocking
+// backpressure (a restart may hold more incomplete jobs than the
+// queue bounds). Sends happen under the server mutex with draining
+// checked, so a concurrent Shutdown — which closes the queue under
+// the same mutex — can never race a send onto a closed channel.
+func (s *Server) enqueueReplay(jobs []*job) {
+	for _, j := range jobs {
+		for {
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			var sent bool
+			select {
+			case s.queue <- j:
+				s.jobs[j.id] = j
+				if j.key != "" {
+					s.inflight[j.key] = j
+				}
+				sent = true
+			default:
+			}
+			s.mu.Unlock()
+			if sent {
+				s.replayed.Add(1)
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// retryIO wraps transient I/O (journal appends, artifact writes,
+// ledger appends) in a bounded jittered-backoff retry. Injected
+// faults are counter-based, so the re-attempt re-arms the fault point
+// and usually clears; a persistent real failure still surfaces after
+// the attempts are spent.
+func (s *Server) retryIO(op func() error) error {
+	retried := false
+	err := faultinject.Retry(3, 2*time.Millisecond, op, func(int, error) {
+		retried = true
+		s.ioRetries.Add(1)
+	})
+	if err == nil && retried {
+		s.ioRecoveries.Add(1)
+	}
+	return err
 }
 
 // ServeHTTP implements http.Handler.
@@ -252,10 +431,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-drained:
 		s.cancel()
+		s.journal.close()
 		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-drained
+		s.journal.close()
 		return ctx.Err()
 	}
 }
@@ -276,6 +457,10 @@ func (s *Server) runJob(j *job) {
 	if s.opts.testJobStart != nil {
 		s.opts.testJobStart(j)
 	}
+	// A "running" entry is a progress note, not a durability boundary:
+	// no fsync, no retry — replay treats accepted-but-not-terminal jobs
+	// identically whether or not this landed.
+	s.journal.append(journalEntry{ID: j.id, State: "running"}, false)
 	ctx := s.baseCtx
 	if s.opts.JobTimeout > 0 {
 		var cancel context.CancelFunc
@@ -284,6 +469,19 @@ func (s *Server) runJob(j *job) {
 	}
 	execStart := time.Now()
 	res, err := j.exec(ctx, j.tracer)
+	// An injected transient fault (a stage-boundary disk error the
+	// harness modeled) is retried end-to-end with jittered backoff:
+	// flows are deterministic, so the re-run recomputes the same
+	// result, and the counter-based fault usually does not re-fire.
+	for attempt := 1; attempt <= 2 && err != nil &&
+		errors.Is(err, faultinject.ErrInjected) && ctx.Err() == nil; attempt++ {
+		s.ioRetries.Add(1)
+		time.Sleep(time.Duration(attempt) * 2 * time.Millisecond)
+		res, err = j.exec(ctx, j.tracer)
+		if err == nil {
+			s.ioRecoveries.Add(1)
+		}
+	}
 	s.jobDur.observe(time.Since(execStart).Seconds())
 	s.observeStages(j.tracer)
 	if err != nil {
@@ -300,10 +498,47 @@ func (s *Server) runJob(j *job) {
 				v = j.cachePrep(res)
 			}
 			s.cache.put(j.key, v)
+			s.persistResult(j, v)
 		}
 	}
+	s.journalTerminal(j, err)
 	j.complete(res, err)
 	s.retire(j)
+}
+
+// persistResult spills a completed result to the artifact store, so a
+// restarted daemon serves it without recomputing. Best-effort with
+// bounded retry: a result that fails to persist is still served from
+// memory, and a post-restart resubmission simply recomputes it.
+func (s *Server) persistResult(j *job, v any) {
+	if s.store == nil || j.key == "" {
+		return
+	}
+	enc, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	s.retryIO(func() error { return s.store.Put(j.key, enc) })
+}
+
+// journalTerminal durably records the job's outcome. The fsynced
+// terminal entry is what lets the post-restart replay skip the job;
+// if the append ultimately fails the job merely replays after a crash
+// — recomputing a deterministic flow, never corrupting state.
+func (s *Server) journalTerminal(j *job, jobErr error) {
+	if s.journal == nil {
+		return
+	}
+	e := journalEntry{ID: j.id, State: "done"}
+	if jobErr != nil {
+		e.State = "failed"
+		e.Error = jobErr.Error()
+		var fe *core.FlowError
+		if errors.As(jobErr, &fe) {
+			e.Stage = fe.Stage
+		}
+	}
+	s.retryIO(func() error { return s.journal.append(e, true) })
 }
 
 // isTimeout reports whether a job failed on its wall-clock budget:
@@ -343,7 +578,11 @@ func (s *Server) appendLedger(j *job, res any) {
 	for i := range recs {
 		recs[i].Stamp(now, "")
 	}
-	if err := qor.Append(s.opts.LedgerPath, recs...); err != nil {
+	// Bounded retry: a failed append truncates back to a clean tail,
+	// so re-appending cannot stack partial lines.
+	if err := s.retryIO(func() error {
+		return qor.Append(s.opts.LedgerPath, recs...)
+	}); err != nil {
 		s.ledgerErrors.Add(1)
 		return
 	}
@@ -356,6 +595,9 @@ func (s *Server) appendLedger(j *job, res any) {
 func (s *Server) retire(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if j.key != "" && s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
 	s.doneOrder = append(s.doneOrder, j.id)
 	for len(s.doneOrder) > s.opts.JobsKeep {
 		old := s.doneOrder[0]
@@ -381,7 +623,10 @@ func (s *Server) newJob(kind, key, label string, exec func(context.Context, *obs
 
 // submit enqueues a job with explicit backpressure: a full queue is a
 // 429 with Retry-After, a draining server a 503 — submissions never
-// block a worker or the caller.
+// block a worker or the caller. An accepted job is journaled (fsync)
+// before the acceptance is visible; a journal failure after bounded
+// retry is availability-over-durability — the job still runs, it just
+// would not survive a crash, and the error counter records the gap.
 func (s *Server) submit(j *job) (status int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -391,6 +636,13 @@ func (s *Server) submit(j *job) (status int, err error) {
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
+		if j.key != "" {
+			s.inflight[j.key] = j
+		}
+		if s.journal != nil && j.body != nil {
+			e := journalEntry{ID: j.id, State: "accepted", Kind: j.kind, Key: j.key, Body: j.body}
+			s.retryIO(func() error { return s.journal.append(e, true) })
+		}
 		return 0, nil
 	default:
 		s.rejected.Add(1)
@@ -432,20 +684,34 @@ func wantWait(r *http.Request) bool {
 	return false
 }
 
-// dispatch is the tail every submission endpoint shares: cache lookup,
+// dispatch is the tail every submission endpoint shares: cache lookup
+// (memory LRU, then the persistent artifact store), in-flight dedupe,
 // enqueue with backpressure, and the synchronous-wait option.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, j *job) {
 	if v, ok := s.cache.get(j.key); ok {
 		s.cacheHits.Add(1)
-		if rep, isReport := v.(*core.Report); isReport {
-			v = rep.Clone() // never hand the cached report itself to encoders
-		}
-		writeJSON(w, http.StatusOK, jobResponse{
-			Kind: j.kind, Status: "done", Cached: true, Key: j.key, Result: v,
-		})
+		writeCached(w, j, v)
+		return
+	}
+	if v, ok := s.storeGet(j.key, j.kind); ok {
+		// Promote the persisted result into the LRU; serving it is a
+		// cache hit that happened to survive a restart.
+		s.cacheHits.Add(1)
+		s.cache.put(j.key, v)
+		writeCached(w, j, v)
 		return
 	}
 	s.cacheMisses.Add(1)
+	// In-flight dedupe: an identical request races (or, after a crash,
+	// follows) a queued/running job with the same content address —
+	// attach to that job instead of computing the same result twice.
+	s.mu.Lock()
+	cur := s.inflight[j.key]
+	s.mu.Unlock()
+	if j.key != "" && cur != nil {
+		respondJob(w, r, cur)
+		return
+	}
 	if status, err := s.submit(j); err != nil {
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "2")
@@ -453,6 +719,12 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, j *job) {
 		writeError(w, status, err)
 		return
 	}
+	respondJob(w, r, j)
+}
+
+// respondJob answers a submission with the job's state, optionally
+// blocking on ?wait=1 until it completes.
+func respondJob(w http.ResponseWriter, r *http.Request, j *job) {
 	if wantWait(r) {
 		select {
 		case <-j.done:
@@ -468,42 +740,27 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, j *job) {
 	writeJSON(w, status, resp)
 }
 
-// handleRun serves POST /v1/runs: one flow run described by a
-// canonical core.FlowRequest.
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req core.FlowRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+// writeCached answers a submission from a cached value.
+func writeCached(w http.ResponseWriter, j *job, v any) {
+	if rep, isReport := v.(*core.Report); isReport {
+		v = rep.Clone() // never hand the cached report itself to encoders
 	}
-	key, err := req.CacheKey()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	n := req.Normalize()
-	label := n.Design + n.Name + "/" + n.Arch.Kind + "/flow " + n.Flow
-	j := s.newJob("run", key, label, func(ctx context.Context, tr *obs.Tracer) (any, error) {
-		run := tr.NewRun(label)
-		defer run.Close()
-		return core.RunRequest(ctx, req, run)
+	writeJSON(w, http.StatusOK, jobResponse{
+		Kind: j.kind, Status: "done", Cached: true, Key: j.key, Result: v,
 	})
-	// Cache a metrics-stripped deep clone: wall-clock artifacts are
-	// execution state, not content, and the cache must never alias a
-	// report already handed to a response encoder.
-	j.cachePrep = func(v any) any {
-		rep := v.(*core.Report).Clone()
-		rep.StripMetrics()
-		return rep
+}
+
+// storeGet consults the persistent artifact store for a completed
+// result of this kind; every failure mode inside the store is a miss.
+func (s *Server) storeGet(key, kind string) (any, bool) {
+	if s.store == nil || key == "" {
+		return nil, false
 	}
-	j.ledger = func(v any) []qor.Record {
-		rep, ok := v.(*core.Report)
-		if !ok || rep == nil {
-			return nil
-		}
-		return []qor.Record{qor.FromReport(rep, n.Seed, key)}
+	raw, ok := s.store.Get(key)
+	if !ok {
+		return nil, false
 	}
-	s.dispatch(w, r, j)
+	return decodeStored(kind, raw)
 }
 
 // handleStatus serves GET /v1/runs/{id}.
@@ -547,10 +804,23 @@ type statsSnapshot struct {
 	JobsRunning   int64
 	CacheEntries  int
 
-	ReqTotal, CacheHits, CacheMisses   int64
-	Rejected, Completed, Failed        int64
-	Timeouts, CacheEvictions           int64
-	LedgerRecords, LedgerErrors        int64
+	ReqTotal, CacheHits, CacheMisses int64
+	Rejected, Completed, Failed      int64
+	Timeouts, CacheEvictions         int64
+	LedgerRecords, LedgerErrors      int64
+
+	// Crash-safety layer (zero when Options.DataDir is unset).
+	JournalEnabled                 bool
+	JournalAppends, JournalErrors  int64
+	JournalReplayedJobs            int64
+	JournalCorruptFrames           int64
+	JournalLastFsyncAgeSeconds     float64 // -1 = never synced
+	StoreEntries                   int64
+	StoreHits, StoreCorruptEvicted int64
+
+	// Fault-injection and transient-I/O recovery counters.
+	FaultsInjected          int64
+	IORetries, IORecoveries int64
 }
 
 // stats snapshots every runtime stat both observability endpoints
@@ -562,7 +832,7 @@ func (s *Server) stats() statsSnapshot {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	return statsSnapshot{
+	st := statsSnapshot{
 		Draining:      draining,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.opts.Workers,
@@ -575,7 +845,29 @@ func (s *Server) stats() statsSnapshot {
 		Rejected: s.rejected.Load(), Completed: s.completed.Load(), Failed: s.failed.Load(),
 		Timeouts: s.timeouts.Load(), CacheEvictions: s.cache.evictions(),
 		LedgerRecords: s.ledgerRecords.Load(), LedgerErrors: s.ledgerErrors.Load(),
+
+		JournalLastFsyncAgeSeconds: -1,
+		FaultsInjected:             faultinject.Active().Injected(),
+		IORetries:                  s.ioRetries.Load(),
+		IORecoveries:               s.ioRecoveries.Load(),
 	}
+	if s.journal != nil {
+		st.JournalEnabled = true
+		st.JournalAppends = s.journal.appends.Load()
+		st.JournalErrors = s.journal.errs.Load()
+		st.JournalReplayedJobs = s.replayed.Load()
+		st.JournalCorruptFrames = s.journal.corruptFrames
+		if ns := s.journal.lastFsync.Load(); ns > 0 {
+			st.JournalLastFsyncAgeSeconds = time.Since(time.Unix(0, ns)).Seconds()
+		}
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.StoreEntries = int64(s.store.Len())
+		st.StoreHits = ss.Hits
+		st.StoreCorruptEvicted = ss.CorruptEvicted
+	}
+	return st
 }
 
 // handleHealthz serves GET /healthz.
@@ -595,6 +887,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_capacity": st.QueueCapacity,
 		"jobs_running":   st.JobsRunning,
 		"cache_entries":  st.CacheEntries,
+		"journal": map[string]any{
+			"enabled":                st.JournalEnabled,
+			"appends":                st.JournalAppends,
+			"errors":                 st.JournalErrors,
+			"replayed_jobs":          st.JournalReplayedJobs,
+			"corrupt_frames":         st.JournalCorruptFrames,
+			"last_fsync_age_seconds": st.JournalLastFsyncAgeSeconds,
+		},
+		"artifacts": map[string]any{
+			"entries":           st.StoreEntries,
+			"hits":              st.StoreHits,
+			"corrupt_evictions": st.StoreCorruptEvicted,
+		},
+		"faults": map[string]any{
+			"injected":      st.FaultsInjected,
+			"io_retries":    st.IORetries,
+			"io_recoveries": st.IORecoveries,
+		},
 	})
 }
 
@@ -621,6 +931,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("vpgad_jobs_timeout_total", "jobs that failed on their per-job wall-clock budget", st.Timeouts)
 	counter("vpgad_ledger_records_total", "QoR records appended to the run ledger", st.LedgerRecords)
 	counter("vpgad_ledger_errors_total", "run-ledger append failures", st.LedgerErrors)
+	counter("vpgad_journal_appends_total", "job-journal entries appended", st.JournalAppends)
+	counter("vpgad_journal_errors_total", "job-journal append failures", st.JournalErrors)
+	counter("vpgad_journal_replayed_jobs_total", "incomplete jobs re-enqueued from the journal at startup", st.JournalReplayedJobs)
+	counter("vpgad_journal_corrupt_frames_total", "torn journal frames discarded at startup", st.JournalCorruptFrames)
+	counter("vpgad_store_hits_total", "artifact-store reads that verified and decoded", st.StoreHits)
+	counter("vpgad_store_corrupt_evictions_total", "artifact-store entries evicted on checksum failure", st.StoreCorruptEvicted)
+	counter("vpgad_faults_injected_total", "faults fired by the injection harness", st.FaultsInjected)
+	counter("vpgad_io_retries_total", "transient I/O re-attempts", st.IORetries)
+	counter("vpgad_io_recoveries_total", "transient I/O failures that recovered on retry", st.IORecoveries)
+	gauge("vpgad_store_entries", "live artifact-store entries", st.StoreEntries)
 	gauge("vpgad_jobs_running", "jobs executing right now", st.JobsRunning)
 	gauge("vpgad_queue_depth", "jobs queued but not yet running", int64(st.QueueDepth))
 	gauge("vpgad_queue_capacity", "queue bound before 429 backpressure", int64(st.QueueCapacity))

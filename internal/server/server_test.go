@@ -50,7 +50,10 @@ func reportOf(t *testing.T, jr jobResponse) *core.Report {
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -341,7 +344,10 @@ func TestLRUBound(t *testing.T) {
 // TestGracefulShutdown: draining finishes queued work, rejects new
 // submissions with 503, and Shutdown returns.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Options{Workers: 2})
+	s, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
