@@ -33,6 +33,15 @@
 // without it they return 202 with a job id to poll. A full queue
 // answers 429 with Retry-After. SIGINT/SIGTERM drain gracefully:
 // running jobs finish (up to -drain), new work is refused with 503.
+//
+// Cluster mode: -coordinator turns the daemon into a coordinator over
+// the worker nodes listed in -workers (comma-separated base URLs). The
+// coordinator consistent-hashes content addresses across the fleet,
+// splits matrices and granularity sweeps into per-cell tickets with
+// work stealing, and serves POST /v1/batch with priorities and
+// per-tenant fairness. Worker nodes given -node (their own base URL)
+// and -peers (every node's base URL) add the peer-cache tier: a key
+// owned by another node is looked up there once before computing.
 package main
 
 import (
@@ -43,6 +52,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,7 +63,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
-	workers := flag.Int("workers", 0, "flow worker pool size (0 = all cores)")
+	workers := flag.String("workers", "", "worker mode: flow worker pool size (0 = all cores); coordinator mode: comma-separated worker base URLs")
+	coordinator := flag.Bool("coordinator", false, "serve as cluster coordinator over the -workers node list instead of running flows locally")
+	node := flag.String("node", "", "this node's own base URL (with -peers, enables the worker peer-cache tier)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster node (worker peer-cache ring)")
 	queue := flag.Int("queue", 0, "job queue depth (0 = 2x workers); a full queue answers 429")
 	cacheSize := flag.Int("cache", 256, "content-addressed report cache capacity (entries)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock budget (0 = none)")
@@ -75,11 +89,41 @@ func main() {
 		faultinject.Enable(inj)
 	}
 
-	s, err := server.New(server.Options{
-		Workers: *workers, QueueDepth: *queue, CacheSize: *cacheSize,
-		JobTimeout: *jobTimeout, JobsKeep: *jobsKeep, LedgerPath: *ledger,
-		DataDir: *dataDir,
-	})
+	type drainable interface {
+		http.Handler
+		Shutdown(context.Context) error
+	}
+	var (
+		s    drainable
+		err  error
+		role = "worker"
+	)
+	if *coordinator {
+		role = "coordinator"
+		nodes := splitURLs(*workers)
+		if len(nodes) == 0 {
+			fatalf("-coordinator needs worker base URLs in -workers, e.g. -workers http://n1:8080,http://n2:8080")
+		}
+		s, err = server.NewCoordinator(server.CoordinatorOptions{
+			Workers: nodes, CacheSize: *cacheSize, JobsKeep: *jobsKeep,
+		})
+	} else {
+		pool := 0
+		if *workers != "" {
+			if pool, err = strconv.Atoi(*workers); err != nil {
+				fatalf("-workers: %q is not a pool size (coordinator mode takes the URL list)", *workers)
+			}
+		}
+		opts := server.Options{
+			Workers: pool, QueueDepth: *queue, CacheSize: *cacheSize,
+			JobTimeout: *jobTimeout, JobsKeep: *jobsKeep, LedgerPath: *ledger,
+			DataDir: *dataDir,
+		}
+		if *node != "" && *peers != "" {
+			opts.PeerLookup = server.NewPeerLookup(*node, splitURLs(*peers))
+		}
+		s, err = server.New(opts)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -90,7 +134,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "vpgad: listening on http://%s\n", *addr)
+	fmt.Fprintf(os.Stderr, "vpgad: %s listening on http://%s\n", role, *addr)
 
 	select {
 	case err := <-errc:
@@ -111,6 +155,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vpgad: http shutdown: %v\n", err)
 	}
 	fmt.Fprintln(os.Stderr, "vpgad: stopped")
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty fields.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -708,14 +708,17 @@ func RunGranularitySweep(ctx context.Context, d bench.Design, archs []*cells.PLB
 
 // DefaultSweepArchs returns the E8 architecture family: from coarse
 // (LUT-heavy) to fine (MUX-rich) granularity, plus an FF-rich variant
-// for the Firewire observation.
+// for the Firewire observation. The family is defined declaratively by
+// DefaultSweepArchSpecs so it can travel as JSON tickets.
 func DefaultSweepArchs() []*cells.PLBArch {
-	return []*cells.PLBArch{
-		cells.LUTPLB(),
-		cells.GranularPLB(),
-		cells.CustomPLB("coarse-lut2", 0, 0, 1, 2, 1),
-		cells.CustomPLB("fine-mux4", 3, 1, 1, 0, 1),
-		cells.CustomPLB("fine-mux6", 4, 2, 2, 0, 1),
-		cells.CustomPLB("ff-rich", 2, 1, 1, 0, 2),
+	specs := DefaultSweepArchSpecs()
+	out := make([]*cells.PLBArch, len(specs))
+	for i, spec := range specs {
+		arch, err := spec.Resolve()
+		if err != nil {
+			panic(fmt.Sprintf("core: default sweep arch %d: %v", i, err)) // unreachable: the family is static
+		}
+		out[i] = arch
 	}
+	return out
 }

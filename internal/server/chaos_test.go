@@ -37,10 +37,19 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
+// drainableHandler is what the chaos child serves: a worker Server or
+// a cluster Coordinator, both HTTP handlers with graceful shutdown.
+type drainableHandler interface {
+	http.Handler
+	Shutdown(context.Context) error
+}
+
 // chaosChildMain is the daemon body of the re-exec'd test binary: a
-// Server rooted at $VPGAD_CHAOS_DATA, its address announced on stdout,
-// draining cleanly on SIGTERM. Fault injection comes from the usual
-// VPGA_FAULTS environment variable.
+// Server rooted at $VPGAD_CHAOS_DATA — or, with VPGAD_CHAOS_WORKERS
+// set to a comma-separated URL list, a cluster Coordinator over those
+// workers — its address announced on stdout, draining cleanly on
+// SIGTERM. Fault injection comes from the usual VPGA_FAULTS
+// environment variable.
 func chaosChildMain() {
 	if inj, err := faultinject.FromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos child:", err)
@@ -48,7 +57,15 @@ func chaosChildMain() {
 	} else if inj != nil {
 		faultinject.Enable(inj)
 	}
-	s, err := New(Options{Workers: 2, DataDir: os.Getenv("VPGAD_CHAOS_DATA")})
+	var (
+		s   drainableHandler
+		err error
+	)
+	if ws := os.Getenv("VPGAD_CHAOS_WORKERS"); ws != "" {
+		s, err = NewCoordinator(CoordinatorOptions{Workers: strings.Split(ws, ",")})
+	} else {
+		s, err = New(Options{Workers: 2, DataDir: os.Getenv("VPGAD_CHAOS_DATA")})
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos child:", err)
 		os.Exit(1)
@@ -373,4 +390,124 @@ func decodeReport(t *testing.T, raw json.RawMessage) *core.Report {
 		t.Fatal(err)
 	}
 	return rep
+}
+
+// coordHealth is the slice of the coordinator's /healthz the cluster
+// chaos test asserts against.
+type coordHealth struct {
+	NodesUp int `json:"nodes_up"`
+	Nodes   []struct {
+		Node       string `json:"node"`
+		Up         bool   `json:"up"`
+		Dispatched int64  `json:"dispatched"`
+	} `json:"nodes"`
+	Cluster struct {
+		Tickets  int64 `json:"tickets"`
+		Reshards int64 `json:"reshards"`
+		Steals   int64 `json:"steals"`
+	} `json:"cluster"`
+}
+
+func getCoordHealth(t *testing.T, base string) coordHealth {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h coordHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestChaosClusterWorkerSIGKILL is the scale-out acceptance under real
+// process death: a coordinator over three re-exec'd worker daemons
+// runs the benchmark matrix; one worker is SIGKILLed mid-matrix; the
+// in-flight and queued cells re-shard onto the survivors and the
+// merged report is byte-identical to the committed single-node golden.
+func TestChaosClusterWorkerSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test skipped in -short")
+	}
+	workers := make([]*chaosDaemon, 3)
+	bases := make([]string, 3)
+	for i := range workers {
+		workers[i] = startChaosDaemon(t, t.TempDir())
+		bases[i] = workers[i].base
+	}
+	t.Cleanup(func() {
+		for _, w := range workers {
+			w.cmd.Process.Kill()
+			w.cmd.Wait()
+		}
+	})
+	coord := startChaosDaemon(t, t.TempDir(), "VPGAD_CHAOS_WORKERS="+strings.Join(bases, ","))
+	t.Cleanup(func() {
+		coord.cmd.Process.Kill()
+		coord.cmd.Wait()
+	})
+
+	code, jr := httpJSON(t, "POST", coord.base+"/v1/matrix", chaosMatrixBody)
+	if code != http.StatusAccepted || jr.ID == "" {
+		t.Fatalf("cluster matrix submission: status %d %+v", code, jr)
+	}
+	// Kill the first worker observed executing tickets, while the
+	// matrix is still in flight.
+	victim := -1
+	deadline := time.Now().Add(30 * time.Second)
+	for victim < 0 {
+		h := getCoordHealth(t, coord.base)
+		for _, n := range h.Nodes {
+			for i, b := range bases {
+				if n.Node == b && n.Dispatched > 0 {
+					victim = i
+				}
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+		if _, st := httpJSON(t, "GET", coord.base+"/v1/runs/"+jr.ID, ""); st.Status == "done" || st.Status == "failed" {
+			t.Fatalf("matrix reached %q before any ticket dispatch was observed", st.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no ticket dispatched within 30s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	workers[victim].cmd.Process.Kill() // SIGKILL: sockets die mid-request
+	workers[victim].cmd.Wait()
+
+	deadline = time.Now().Add(3 * time.Minute)
+	var merged rawResponse
+	for {
+		var code int
+		code, merged = httpJSON(t, "GET", coord.base+"/v1/runs/"+jr.ID, "")
+		if code == http.StatusOK && (merged.Status == "done" || merged.Status == "failed") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster matrix never finished after the kill: status %d %+v", code, merged)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if merged.Status != "done" {
+		t.Fatalf("cluster matrix failed after the kill: %s", merged.Error)
+	}
+	checkMatrixGolden(t, merged.Result)
+
+	h := getCoordHealth(t, coord.base)
+	if h.Cluster.Reshards < 1 {
+		t.Fatalf("reshards = %d after a SIGKILLed worker (healthz %+v)", h.Cluster.Reshards, h)
+	}
+	if h.NodesUp > 2 {
+		t.Fatalf("nodes_up = %d after killing one of three workers", h.NodesUp)
+	}
+	// The coordinator itself drains cleanly.
+	coord.cmd.Process.Signal(syscall.SIGTERM)
+	if err := coord.cmd.Wait(); err != nil {
+		t.Fatalf("coordinator did not drain cleanly: %v", err)
+	}
 }

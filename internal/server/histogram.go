@@ -62,6 +62,26 @@ func (h *histogram) snapshot() (cum []int64, count int64, sum float64) {
 	return cum, h.count.Load(), math.Float64frombits(h.sum.Load())
 }
 
+// quantile estimates the q-quantile (0 < q <= 1) in seconds from the
+// bucket counts: the upper bound of the first bucket whose cumulative
+// count reaches q of the total. Log buckets make this a ~2x-resolution
+// estimate — exactly enough for scheduling hints like Retry-After,
+// which only need the right order of magnitude. An empty histogram
+// returns 0; observations past the last bound return twice it.
+func (h *histogram) quantile(q float64) float64 {
+	cum, count, _ := h.snapshot()
+	if count == 0 || q <= 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(count)))
+	for i, bound := range histBounds {
+		if cum[i] >= target {
+			return bound
+		}
+	}
+	return 2 * histBounds[len(histBounds)-1]
+}
+
 // formatLe renders a bucket bound the Prometheus way (shortest
 // round-trip float).
 func formatLe(v float64) string {

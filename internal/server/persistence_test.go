@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -280,5 +282,88 @@ func TestDrainJournalsInFlight(t *testing.T) {
 	resp2, jr2 := postJSON(t, ts2, "/v1/runs?wait=1", runBody)
 	if resp2.StatusCode != http.StatusOK || !jr2.Cached {
 		t.Fatalf("post-drain restart: status %d cached=%v", resp2.StatusCode, jr2.Cached)
+	}
+}
+
+// TestReplayedJobsServeStatusAndSSE is the restart-observability
+// satellite: every journal-replayed job must be pollable AND must
+// serve its SSE stream immediately after startup — including jobs the
+// replay goroutine has not yet squeezed into the bounded run queue.
+// (The regression: jobs were registered only as they were enqueued, so
+// a deep replay backlog answered 404 for its tail.)
+func TestReplayedJobsServeStatusAndSSE(t *testing.T) {
+	dataDir := t.TempDir()
+	jn, _, err := openJournal(filepath.Join(dataDir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 4)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("j%06d", 201+i)
+		body := fmt.Sprintf(`{"design":"alu","arch":{"kind":"granular"},"flow":"b","seed":%d}`, 301+i)
+		var req core.FlowRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		key, err := req.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := jn.append(journalEntry{
+			ID: ids[i], State: "accepted", Kind: "run", Key: key, Body: []byte(body),
+		}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jn.close()
+
+	// One worker, queue depth 1, first job gated: the replay goroutine
+	// cannot have enqueued the tail when New returns.
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Options{
+		Workers: 1, QueueDepth: 1, DataDir: dataDir,
+		testJobStart: func(*job) { <-release },
+	})
+	// Every replayed ID answers immediately — status and SSE, no 404.
+	for _, id := range ids {
+		resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replayed job %s: status %d immediately after restart, want 200", id, resp.StatusCode)
+		}
+	}
+	last := ids[len(ids)-1]
+	es, err := http.Get(ts.URL + "/v1/runs/" + last + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	if es.StatusCode != http.StatusOK || !strings.HasPrefix(es.Header.Get("Content-Type"), "text/event-stream") {
+		t.Fatalf("replayed job %s events: status %d content-type %q, want a live SSE stream",
+			last, es.StatusCode, es.Header.Get("Content-Type"))
+	}
+	close(release)
+
+	// The stream follows the replayed job through to its terminal
+	// event, exactly like a fresh submission's.
+	sawDone := false
+	sc := bufio.NewScanner(es.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "event: done" {
+			sawDone = true
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if !sawDone {
+		t.Fatalf("replayed job %s stream ended without a done event", last)
+	}
+	if got := s.stats().JournalReplayedJobs; got != int64(len(ids)) {
+		t.Fatalf("replayed %d jobs, want %d", got, len(ids))
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"path/filepath"
 	"runtime"
@@ -74,6 +75,14 @@ type Options struct {
 	// placement checkpoints across restarts. Empty = in-memory only,
 	// exactly the pre-journal behavior.
 	DataDir string
+	// PeerLookup, when set, adds a peer-cache tier to dispatch: after
+	// the local LRU and artifact store both miss, the function is asked
+	// for the raw JSON of a result computed elsewhere in the cluster,
+	// keyed by content address. A hit is promoted into the memory LRU
+	// only — never the artifact store, whose contents stay exactly what
+	// this node computed, so a peer result is never double-stored — and
+	// a payload that fails to decode degrades to local compute.
+	PeerLookup func(ctx context.Context, kind, key string) ([]byte, bool)
 
 	// testJobStart, when set by a test, runs at the top of every job on
 	// its worker goroutine — tests block here to hold jobs "running"
@@ -122,11 +131,12 @@ type job struct {
 
 	done chan struct{} // closed when the job reaches done/failed
 
-	mu     sync.Mutex
-	status string // "queued", "running", "done", "failed"
-	result any
-	errMsg string
-	stage  string // failing flow stage, when known
+	mu      sync.Mutex
+	status  string // "queued", "running", "done", "failed"
+	result  any
+	errMsg  string
+	stage   string // failing flow stage, when known
+	errKind string // machine-readable class: "timeout", "cancelled", ""
 }
 
 func (j *job) setStatus(s string) {
@@ -141,6 +151,7 @@ func (j *job) complete(result any, err error) {
 	if err != nil {
 		j.status = "failed"
 		j.errMsg = err.Error()
+		j.errKind = errKind(err)
 		var fe *core.FlowError
 		if errors.As(err, &fe) {
 			j.stage = fe.Stage
@@ -159,7 +170,7 @@ func (j *job) response() jobResponse {
 	defer j.mu.Unlock()
 	return jobResponse{
 		ID: j.id, Kind: j.kind, Status: j.status, Key: j.key,
-		Result: j.result, Error: j.errMsg, Stage: j.stage,
+		Result: j.result, Error: j.errMsg, Stage: j.stage, ErrorKind: j.errKind,
 	}
 }
 
@@ -175,6 +186,11 @@ type jobResponse struct {
 	Result any    `json:"result,omitempty"`
 	Error  string `json:"error,omitempty"`
 	Stage  string `json:"stage,omitempty"`
+	// ErrorKind is the machine-readable failure class ("timeout",
+	// "cancelled") a coordinator keys off — a timeout that happened on a
+	// remote worker must still count as a timeout when the envelope
+	// comes back over HTTP, without parsing the error string.
+	ErrorKind string `json:"error_kind,omitempty"`
 }
 
 // Server is the flow service. Create with New, serve with any
@@ -210,6 +226,8 @@ type Server struct {
 	ledgerRecords, ledgerErrors      atomic.Int64
 	replayed                         atomic.Int64
 	ioRetries, ioRecoveries          atomic.Int64
+	peerHits, peerMisses             atomic.Int64
+	peerServed                       atomic.Int64
 
 	// Latency histograms (zero-dependency log buckets; see histogram.go).
 	jobDur    *histogram
@@ -264,6 +282,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < opts.Workers; i++ {
@@ -338,6 +357,19 @@ func (s *Server) replayJournal(entries []journalEntry) {
 	}
 	s.journal.compact(keep)
 	if len(jobs) > 0 {
+		// Register every replayed job before the (possibly slow,
+		// backpressured) re-enqueue: a client that was polling
+		// GET /v1/runs/{id} or following the SSE stream across the
+		// restart must find the job immediately, not 404 until its
+		// queue send happens to land.
+		s.mu.Lock()
+		for _, j := range jobs {
+			s.jobs[j.id] = j
+			if j.key != "" {
+				s.inflight[j.key] = j
+			}
+		}
+		s.mu.Unlock()
 		go s.enqueueReplay(jobs)
 	}
 }
@@ -357,9 +389,10 @@ func jobIDNum(id string) int64 {
 
 // enqueueReplay feeds replayed jobs into the queue with blocking
 // backpressure (a restart may hold more incomplete jobs than the
-// queue bounds). Sends happen under the server mutex with draining
-// checked, so a concurrent Shutdown — which closes the queue under
-// the same mutex — can never race a send onto a closed channel.
+// queue bounds). The jobs are already registered in s.jobs; this only
+// performs the queue sends. Sends happen under the server mutex with
+// draining checked, so a concurrent Shutdown — which closes the queue
+// under the same mutex — can never race a send onto a closed channel.
 func (s *Server) enqueueReplay(jobs []*job) {
 	for _, j := range jobs {
 		for {
@@ -371,10 +404,6 @@ func (s *Server) enqueueReplay(jobs []*job) {
 			var sent bool
 			select {
 			case s.queue <- j:
-				s.jobs[j.id] = j
-				if j.key != "" {
-					s.inflight[j.key] = j
-				}
 				sent = true
 			default:
 			}
@@ -552,6 +581,26 @@ func isTimeout(err error) bool {
 	return errors.As(err, &fe) && fe.Stage == "timeout"
 }
 
+// errKind distills a job error into the machine-readable class the
+// response envelope carries ("" = unclassified). Coordinators use it
+// to keep cluster-level counters (vpgad_jobs_timeout_total) correct
+// for failures that happened on a remote worker.
+func errKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case isTimeout(err):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	}
+	var fe *core.FlowError
+	if errors.As(err, &fe) && fe.Stage == "cancelled" {
+		return "cancelled"
+	}
+	return ""
+}
+
 // observeStages feeds the job's stage spans into the per-stage
 // duration histograms.
 func (s *Server) observeStages(tr *obs.Tracer) {
@@ -701,6 +750,21 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, j *job) {
 		writeCached(w, j, v)
 		return
 	}
+	// Peer-cache tier: another node may have computed this exact
+	// request already. A decoded hit is promoted into the memory LRU
+	// only (no artifact-store write — the peer already persists it);
+	// a corrupt payload is a miss and the job computes locally.
+	if s.opts.PeerLookup != nil && j.key != "" {
+		if raw, ok := s.opts.PeerLookup(r.Context(), j.kind, j.key); ok {
+			if v, decoded := decodeStored(j.kind, raw); decoded {
+				s.peerHits.Add(1)
+				s.cache.put(j.key, v)
+				writeCached(w, j, v)
+				return
+			}
+		}
+		s.peerMisses.Add(1)
+	}
 	s.cacheMisses.Add(1)
 	// In-flight dedupe: an identical request races (or, after a crash,
 	// follows) a queued/running job with the same content address —
@@ -714,12 +778,41 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, j *job) {
 	}
 	if status, err := s.submit(j); err != nil {
 		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "2")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		}
 		writeError(w, status, err)
 		return
 	}
 	respondJob(w, r, j)
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the actual
+// backlog: the jobs ahead of a resubmission (queued plus running)
+// spread over the worker pool, each costing the observed median job
+// duration. A hardcoded constant under-hints when the queue is deep
+// with minute-scale matrix jobs and over-hints for an empty queue of
+// millisecond runs; this tracks both.
+func (s *Server) retryAfterSeconds() int {
+	depth := len(s.queue) + int(s.running.Load())
+	return retryAfterHint(depth, s.opts.Workers, s.jobDur.quantile(0.5))
+}
+
+// retryAfterHint is the pure hint rule: ceil(backlog/workers) rounds
+// of the median job duration, clamped to [1s, 120s]. With no duration
+// history yet the median is 0 and the hint floors at 1s.
+func retryAfterHint(depth, workers int, medianSec float64) int {
+	if workers < 1 {
+		workers = 1
+	}
+	rounds := (depth + workers - 1) / workers
+	hint := int(math.Ceil(float64(rounds) * medianSec))
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > 120 {
+		hint = 120
+	}
+	return hint
 }
 
 // respondJob answers a submission with the job's state, optionally
@@ -761,6 +854,34 @@ func (s *Server) storeGet(key, kind string) (any, bool) {
 		return nil, false
 	}
 	return decodeStored(kind, raw)
+}
+
+// handleCacheLookup serves GET /v1/cache/{key}: the lookup-only peer
+// endpoint answering the raw JSON of a locally cached or persisted
+// result. It never computes and never forwards — a miss is a plain
+// 404 — so peer lookups cannot cascade across the cluster.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if v, ok := s.cache.get(key); ok {
+		if rep, isReport := v.(*core.Report); isReport {
+			v = rep.Clone() // same rule as writeCached: never hand out the cached report
+		}
+		if enc, err := json.Marshal(v); err == nil {
+			s.peerServed.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(enc)
+			return
+		}
+	}
+	if s.store != nil {
+		if raw, ok := s.store.Get(key); ok {
+			s.peerServed.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(raw)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, errors.New("no cached result for key"))
 }
 
 // handleStatus serves GET /v1/runs/{id}.
@@ -821,6 +942,11 @@ type statsSnapshot struct {
 	// Fault-injection and transient-I/O recovery counters.
 	FaultsInjected          int64
 	IORetries, IORecoveries int64
+
+	// Peer-cache tier (zero when Options.PeerLookup is unset and no
+	// peer has queried GET /v1/cache/{key}).
+	PeerHits, PeerMisses int64
+	PeerServed           int64
 }
 
 // stats snapshots every runtime stat both observability endpoints
@@ -850,6 +976,9 @@ func (s *Server) stats() statsSnapshot {
 		FaultsInjected:             faultinject.Active().Injected(),
 		IORetries:                  s.ioRetries.Load(),
 		IORecoveries:               s.ioRecoveries.Load(),
+		PeerHits:                   s.peerHits.Load(),
+		PeerMisses:                 s.peerMisses.Load(),
+		PeerServed:                 s.peerServed.Load(),
 	}
 	if s.journal != nil {
 		st.JournalEnabled = true
@@ -905,6 +1034,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"io_retries":    st.IORetries,
 			"io_recoveries": st.IORecoveries,
 		},
+		"peer": map[string]any{
+			"hits":   st.PeerHits,
+			"misses": st.PeerMisses,
+			"served": st.PeerServed,
+		},
 	})
 }
 
@@ -940,6 +1074,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("vpgad_faults_injected_total", "faults fired by the injection harness", st.FaultsInjected)
 	counter("vpgad_io_retries_total", "transient I/O re-attempts", st.IORetries)
 	counter("vpgad_io_recoveries_total", "transient I/O failures that recovered on retry", st.IORecoveries)
+	counter("vpgad_peer_hits_total", "submissions served from a peer node's cache", st.PeerHits)
+	counter("vpgad_peer_misses_total", "peer-cache lookups that missed or failed to decode", st.PeerMisses)
+	counter("vpgad_peer_served_total", "cache lookups this node answered for peers", st.PeerServed)
 	gauge("vpgad_store_entries", "live artifact-store entries", st.StoreEntries)
 	gauge("vpgad_jobs_running", "jobs executing right now", st.JobsRunning)
 	gauge("vpgad_queue_depth", "jobs queued but not yet running", int64(st.QueueDepth))

@@ -743,3 +743,84 @@ func TestRunLedgerAppend(t *testing.T) {
 			s2.ledgerErrors.Load(), s2.ledgerRecords.Load())
 	}
 }
+
+// TestRetryAfterHint pins the backpressure hint rule: ceil(backlog /
+// workers) rounds of the observed median job duration, clamped to
+// [1s, 120s] — so a deep queue of slow jobs hints long, an empty
+// queue hints the 1s floor, and no history floors at 1s too.
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		depth, workers int
+		median         float64
+		want           int
+	}{
+		{0, 4, 10, 1},      // empty queue: floor
+		{8, 4, 10, 20},     // two rounds of 10s
+		{3, 2, 0.5, 1},     // sub-second jobs: floor
+		{1000, 1, 60, 120}, // clamp
+		{5, 0, 2, 10},      // workers floor at 1
+		{4, 4, 0, 1},       // no duration history yet
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.depth, c.workers, c.median); got != c.want {
+			t.Errorf("retryAfterHint(%d, %d, %v) = %d, want %d", c.depth, c.workers, c.median, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterTracksBacklog is the satellite regression: the 429
+// Retry-After header scales with the actual backlog and observed job
+// durations instead of a hardcoded constant — a deep queue of slow
+// jobs hints strictly longer than an empty one.
+func TestRetryAfterTracksBacklog(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s, ts := newTestServer(t, Options{
+		Workers: 1, QueueDepth: 1,
+		testJobStart: func(*job) {
+			started <- struct{}{}
+			<-release
+		},
+	})
+	defer close(release)
+
+	// The server has observed slow jobs (median ~30s).
+	s.jobDur.observe(30)
+	emptyHint := s.retryAfterSeconds()
+	if emptyHint != 1 {
+		t.Fatalf("empty-queue hint %d, want the 1s floor", emptyHint)
+	}
+
+	body := func(seed int) string {
+		return fmt.Sprintf(`{"design":"alu","arch":{"kind":"granular"},"seed":%d}`, seed)
+	}
+	if resp, _ := postJSON(t, ts, "/v1/runs", body(1)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: status %d", resp.StatusCode)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job 1 never started")
+	}
+	if resp, _ := postJSON(t, ts, "/v1/runs", body(2)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: status %d", resp.StatusCode)
+	}
+	resp, _ := postJSON(t, ts, "/v1/runs", body(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: status %d, want 429", resp.StatusCode)
+	}
+	deepHint, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// Backlog of 2 (1 running + 1 queued) over 1 worker at a ~30s
+	// median: the hint must reflect the real wait, not the old
+	// hardcoded 2 seconds.
+	if deepHint <= 2 || deepHint <= emptyHint {
+		t.Fatalf("deep-queue hint %d does not exceed the empty-queue hint %d (or the old constant 2)",
+			deepHint, emptyHint)
+	}
+	if deepHint > 120 {
+		t.Fatalf("hint %d above the clamp", deepHint)
+	}
+}
