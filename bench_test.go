@@ -10,6 +10,7 @@ import (
 	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"vpga/internal/aig"
 	"vpga/internal/bench"
@@ -339,4 +340,79 @@ func BenchmarkRoutingArchitectureSweep(b *testing.B) {
 	}
 	b.ReportMetric(float64(pts[0].Overflow), "overflow-at-4-tracks")
 	b.ReportMetric(float64(pts[len(pts)-1].Overflow), "overflow-at-32-tracks")
+}
+
+// BenchmarkStageCachePrefixDepth measures experiment E17: wall time of
+// a flow run as a function of the shared-prefix depth served by the
+// stage-granular build cache. Depth 0 is a cold run (all five stages
+// computed); a clock retarget restores the chain through placement
+// (depth 3, the expensive anneal skipped); a routing-knob variant
+// restores through packing (depth 4); an identical rerun restores the
+// full chain (depth 5). Each iteration uses a fresh cache directory so
+// the depths stay exact across b.N.
+func BenchmarkStageCachePrefixDepth(b *testing.B) {
+	ctx := context.Background()
+	base := core.FlowRequest{Design: "alu", Arch: core.ArchSpec{Kind: "granular"},
+		Flow: "b", Seed: 1, PlaceEffort: 3, ClockPeriod: 8000}
+	retarget := base
+	retarget.ClockPeriod = 9000
+
+	restored := func(rep *core.Report) int {
+		hits := 0
+		for _, u := range rep.StageCache {
+			if u.Hit {
+				hits++
+			}
+		}
+		return hits
+	}
+	var cold, depth3, depth4, depth5 time.Duration
+	for i := 0; i < b.N; i++ {
+		stages, err := OpenStageCache(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		timeReq := func(req core.FlowRequest, wantDepth int) time.Duration {
+			start := time.Now()
+			res, err := core.Run(ctx, req, core.ExecOptions{Stages: stages})
+			elapsed := time.Since(start)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := restored(res.Report); got != wantDepth {
+				b.Fatalf("restored %d stages, want %d", got, wantDepth)
+			}
+			return elapsed
+		}
+		cold += timeReq(base, 0)
+		depth3 += timeReq(retarget, 3)
+
+		// Routing knobs live on Config (the repair ladder's widening
+		// rungs), so the depth-4 point goes through RunFlow directly.
+		d, cfg, err := base.Resolve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.RouteCapacityScale = 1.25
+		cfg.Stages = stages
+		start := time.Now()
+		rep, err := core.RunFlow(ctx, d, cfg)
+		depth4 += time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := restored(rep); got != 4 {
+			b.Fatalf("route-knob variant restored %d stages, want 4", got)
+		}
+
+		depth5 += timeReq(base, 5)
+	}
+	n := float64(b.N)
+	ms := func(t time.Duration) float64 { return t.Seconds() * 1e3 / n }
+	b.ReportMetric(ms(cold), "ms-cold")
+	b.ReportMetric(ms(depth3), "ms-depth3(place)")
+	b.ReportMetric(ms(depth4), "ms-depth4(pack)")
+	b.ReportMetric(ms(depth5), "ms-depth5(full)")
+	b.ReportMetric(cold.Seconds()/depth3.Seconds(), "x-speedup-depth3")
+	b.ReportMetric(cold.Seconds()/depth5.Seconds(), "x-speedup-full")
 }

@@ -24,6 +24,14 @@
 // directory. Accepted jobs survive a SIGKILL — on restart the journal
 // replays and incomplete jobs re-enqueue under their original IDs —
 // and completed results are served from the store across restarts.
+// The store also backs the stage-granular build cache: every flow run
+// persists its per-stage artifacts (mapped netlist, compacted netlist,
+// placement, packed array, routing) content-addressed by stage key,
+// and later runs sharing a key-chain prefix — a sweep re-routing one
+// placement, a clock retarget, flow a after flow b — restore the
+// prefix instead of recomputing it. /metrics exposes per-stage
+// vpgad_stage_cache_{hits,misses}_total counters and job status JSON
+// carries the request's stage_keys chain.
 //
 // -faults arms the deterministic fault-injection harness (same spec
 // as the VPGA_FAULTS environment variable; the flag wins), e.g.

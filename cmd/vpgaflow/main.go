@@ -8,7 +8,8 @@
 //	         [-verify] [-skip-compaction] [-trace out.json]
 //	vpgaflow -rtl file.v -arch granular -flow b     # custom RTL input
 //	vpgaflow -request run.json                      # serialized FlowRequest
-//	vpgaflow -print-request [flags]                 # canonical JSON + cache key
+//	vpgaflow -print-request [flags]                 # canonical JSON + cache key + stage keys
+//	vpgaflow -stage-cache DIR [flags]               # stage-granular build cache
 //	vpgaflow qor run|baseline|diff [flags]          # QoR regression observatory
 //
 // The qor subcommands drive the regression observatory: `qor run`
@@ -21,9 +22,15 @@
 // the same document POST /v1/runs accepts, so a request can be
 // developed locally and then submitted to vpgad unchanged.
 // -print-request skips the run and prints the canonical (normalized)
-// encoding of the request plus its content-address cache key; combined
-// with the ordinary flags it converts a flag invocation into a service
-// request.
+// encoding of the request plus its content-address cache key and
+// per-stage key chain; combined with the ordinary flags it converts a
+// flag invocation into a service request.
+//
+// -stage-cache DIR opens (or creates) a stage-granular build cache at
+// DIR: every stage boundary — mapped netlist, compacted netlist,
+// placement, packed array, routing — is stored content-addressed, and
+// later runs sharing a key-chain prefix restore it instead of
+// recomputing. Reports are bit-identical with or without the cache.
 //
 // -trace writes a Chrome trace-event JSON of the run (stage spans,
 // solver counters, repair attempts; open in chrome://tracing or
@@ -39,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 
+	"vpga/internal/artifact"
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/core"
@@ -68,7 +76,8 @@ func main() {
 	defectSeed := flag.Int64("defect-seed", 100, "defect-map seed")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file and a per-stage summary to stderr")
 	requestFile := flag.String("request", "", "run a serialized core.FlowRequest from this JSON file ('-' for stdin) instead of the flow flags")
-	printRequest := flag.Bool("print-request", false, "print the request's canonical JSON and cache key instead of running it")
+	printRequest := flag.Bool("print-request", false, "print the request's canonical JSON, cache key and stage keys instead of running it")
+	stageDir := flag.String("stage-cache", "", "stage-granular build cache directory (created if absent); runs restore cached stage artifacts and store fresh ones")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -76,6 +85,15 @@ func main() {
 	if *timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	var stages *core.StageCache
+	if *stageDir != "" {
+		store, err := artifact.Open(*stageDir)
+		if err != nil {
+			fatalf("stage cache: %v", err)
+		}
+		stages = core.NewStageCache(store)
 	}
 
 	if *requestFile != "" || *printRequest {
@@ -111,15 +129,24 @@ func main() {
 			if err != nil {
 				fatalf("%v", err)
 			}
+			keys, err := req.StageKeys()
+			if err != nil {
+				fatalf("%v", err)
+			}
 			enc, err := json.MarshalIndent(req.Normalize(), "", "  ")
 			if err != nil {
 				fatalf("%v", err)
 			}
+			// Canonical JSON on stdout; derived keys on stderr, so the
+			// stdout document stays a valid request body.
 			fmt.Printf("%s\n", enc)
 			fmt.Fprintf(os.Stderr, "cache key: %s\n", key)
+			for _, sk := range keys {
+				fmt.Fprintf(os.Stderr, "stage %-8s %s\n", sk.Stage, sk.Key)
+			}
 			return
 		}
-		runRequest(ctx, req, *traceFile)
+		runRequest(ctx, req, *traceFile, stages)
 		return
 	}
 
@@ -171,6 +198,7 @@ func main() {
 	cfg := core.Config{
 		Arch: arch, Flow: flow, ClockPeriod: *clock, Seed: *seed,
 		PlaceEffort: *effort, Verify: *verify, SkipCompaction: *skipCompact,
+		Stages: stages,
 	}
 	var tracer *obs.Tracer
 	if *traceFile != "" {
@@ -252,7 +280,7 @@ func readRequest(path string) core.FlowRequest {
 }
 
 // runRequest executes a FlowRequest exactly as vpgad would.
-func runRequest(ctx context.Context, req core.FlowRequest, traceFile string) {
+func runRequest(ctx context.Context, req core.FlowRequest, traceFile string, stages *core.StageCache) {
 	var tracer *obs.Tracer
 	var run *obs.Run
 	if traceFile != "" {
@@ -260,7 +288,7 @@ func runRequest(ctx context.Context, req core.FlowRequest, traceFile string) {
 		n := req.Normalize()
 		run = tracer.NewRun(n.Design + n.Name + "/" + n.Arch.Kind + "/flow " + n.Flow)
 	}
-	rep, err := core.RunRequest(ctx, req, run)
+	res, err := core.Run(ctx, req, core.ExecOptions{Trace: run, Stages: stages})
 	run.Close()
 	if tracer != nil {
 		if werr := tracer.WriteChromeTraceFile(traceFile); werr != nil {
@@ -271,7 +299,7 @@ func runRequest(ctx context.Context, req core.FlowRequest, traceFile string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	printReport(rep)
+	printReport(res.Report)
 }
 
 func printReport(r *core.Report) {
@@ -311,6 +339,17 @@ func printReport(r *core.Report) {
 		fmt.Printf("configurations:")
 		for _, k := range sortedKeys(r.ConfigCounts) {
 			fmt.Printf(" %s=%d", k, r.ConfigCounts[k])
+		}
+		fmt.Println()
+	}
+	if len(r.StageCache) > 0 {
+		fmt.Printf("stage cache:   ")
+		for _, u := range r.StageCache {
+			verdict := "miss"
+			if u.Hit {
+				verdict = "hit"
+			}
+			fmt.Printf(" %s=%s", u.Stage, verdict)
 		}
 		fmt.Println()
 	}

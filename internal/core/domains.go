@@ -52,7 +52,8 @@ func RunDomainExplore(ctx context.Context, domains []bench.Design, archs []*cell
 		point := func(arch *cells.PLBArch, clock float64) (SweepPoint, float64, float64, error) {
 			run := opts.Trace.NewRun("domain/" + d.Name + "/" + arch.Name)
 			rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock,
-				Seed: opts.Seed, PlaceWorkers: opts.PlaceWorkers, Trace: run, routePool: pool})
+				Seed: opts.Seed, PlaceWorkers: opts.PlaceWorkers, Trace: run,
+				Stages: opts.Stages, routePool: pool})
 			run.Close()
 			if err != nil {
 				return SweepPoint{}, 0, 0, fmt.Errorf("domain %s on %s: %w", d.Name, arch.Name, err)

@@ -40,6 +40,12 @@ type MatrixOptions struct {
 	// Config.PlaceWorkers); reports are bit-identical at any setting.
 	PlaceWorkers int
 	Verify       bool
+	// Stages, when set, is the stage-granular build cache every cell
+	// runs against (see Config.Stages): cells sharing a key-chain
+	// prefix — every clock-pinned variant of one (design, arch), both
+	// flows of one placement — compute it once. Pure acceleration:
+	// reports are bit-identical with or without it.
+	Stages *StageCache
 	// Parallel bounds the number of concurrently executing flow runs:
 	// 0 uses GOMAXPROCS, 1 forces fully sequential execution. For a
 	// fixed seed the resulting reports are identical at any setting —
@@ -79,7 +85,15 @@ var testPanicHook func(design, arch string, flow FlowKind)
 // timeout, panic isolation (a crashed worker becomes a *FlowError with
 // Stage "panic" instead of taking down the process), and the repair
 // ladder when a defect map is present.
-func supervisedRun(ctx context.Context, d bench.Design, cfg Config, timeout time.Duration) (rep *Report, err error) {
+func supervisedRun(ctx context.Context, d bench.Design, cfg Config, timeout time.Duration) (*Report, error) {
+	rep, _, err := supervisedRunFull(ctx, d, cfg, timeout, false)
+	return rep, err
+}
+
+// supervisedRunFull is supervisedRun optionally surfacing the physical
+// artifacts (clean-fabric runs only: the repair ladder reports without
+// them).
+func supervisedRunFull(ctx context.Context, d bench.Design, cfg Config, timeout time.Duration, wantArtifacts bool) (rep *Report, art *Artifacts, err error) {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -87,7 +101,7 @@ func supervisedRun(ctx context.Context, d bench.Design, cfg Config, timeout time
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			rep = nil
+			rep, art = nil, nil
 			err = &FlowError{Design: d.Name, Arch: cfg.Arch.Name, Flow: cfg.Flow.String(),
 				Stage: "panic", Err: fmt.Errorf("%v\n%s", r, debug.Stack())}
 		}
@@ -96,9 +110,14 @@ func supervisedRun(ctx context.Context, d bench.Design, cfg Config, timeout time
 		testPanicHook(d.Name, cfg.Arch.Name, cfg.Flow)
 	}
 	if cfg.Defects != nil {
-		return RunFlowRepair(ctx, d, cfg)
+		rep, err = RunFlowRepair(ctx, d, cfg)
+		return rep, nil, err
 	}
-	return RunFlow(ctx, d, cfg)
+	rep, art, err = execFlow(ctx, d, cfg)
+	if !wantArtifacts {
+		art = nil
+	}
+	return rep, art, err
 }
 
 // asFlowError coerces err into a *FlowError for the ledger. It walks
@@ -284,7 +303,7 @@ func RunMatrix(ctx context.Context, suite bench.Suite, opts MatrixOptions) (*Mat
 			Arch: arch, Flow: flow, ClockPeriod: clock,
 			Seed: opts.Seed, PlaceEffort: opts.PlaceEffort, PlaceWorkers: opts.PlaceWorkers,
 			Verify: opts.Verify, Defects: opts.Defects, RepairBudget: opts.RepairBudget,
-			routePool: pool,
+			Stages: opts.Stages, routePool: pool,
 		}
 		if bail {
 			skip(ticket)
@@ -626,6 +645,12 @@ type SweepOptions struct {
 	// Trace, when set, records every sweep run's stage spans and solver
 	// counters (see internal/obs). Tracing never changes results.
 	Trace *obs.Tracer
+	// Stages, when set, is the stage-granular build cache every sweep
+	// run executes against (see Config.Stages). A clock-target sweep
+	// shares everything through placement; re-running a sweep restores
+	// every stage. Pure acceleration: results are bit-identical with or
+	// without it.
+	Stages *StageCache
 }
 
 // workers resolves the worker bound.
@@ -656,7 +681,8 @@ func RunGranularitySweep(ctx context.Context, d bench.Design, archs []*cells.PLB
 	point := func(arch *cells.PLBArch, clock float64) (SweepPoint, float64, error) {
 		run := opts.Trace.NewRun("sweep/" + d.Name + "/" + arch.Name)
 		rep, err := RunFlow(ctx, d, Config{Arch: arch, Flow: FlowB, ClockPeriod: clock,
-			Seed: opts.Seed, PlaceWorkers: opts.PlaceWorkers, Trace: run, routePool: pool})
+			Seed: opts.Seed, PlaceWorkers: opts.PlaceWorkers, Trace: run,
+			Stages: opts.Stages, routePool: pool})
 		run.Close()
 		if err != nil {
 			return SweepPoint{}, 0, fmt.Errorf("sweep %s: %w", arch.Name, err)

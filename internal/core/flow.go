@@ -95,12 +95,19 @@ type Config struct {
 	// untraced one after StripMetrics. Nil disables tracing at zero
 	// hot-path cost.
 	Trace *obs.Run
-	// Checkpoints, when set, is the stage-granular build cache: the
-	// post-refinement placement snapshot is stored here, and a later
-	// run whose placement inputs match restores it and skips annealing
-	// entirely (see checkpoint.go). Like Trace and PlaceWorkers it is
-	// transport state — reports are bit-identical with or without it,
-	// so it never enters the request cache key.
+	// Stages, when set, is the stage-granular build cache (see
+	// stagecache.go): every stage boundary stores a content-addressed
+	// artifact, and the run restores the deepest cached prefix of its
+	// stage-key chain instead of recomputing it. Like Trace and
+	// PlaceWorkers it is transport state — reports are bit-identical
+	// (after StripMetrics) with or without it, so it never enters the
+	// request cache key.
+	Stages *StageCache
+	// Checkpoints is the PR 7 placement-checkpoint form of the stage
+	// cache, kept for compatibility: when Stages is nil it is wrapped
+	// as NewStageCache(Checkpoints).
+	//
+	// Deprecated: set Stages.
 	Checkpoints *artifact.Store
 	// routePool, when set, lends the router reusable working memory
 	// (usage/history arrays, A* scratch) for the run. The experiment
@@ -108,6 +115,15 @@ type Config struct {
 	// bit-identical with or without it, so like PlaceWorkers it stays
 	// out of the request cache key.
 	routePool *route.Pool
+}
+
+// stageCache resolves the effective stage cache: Stages, or the
+// deprecated Checkpoints store wrapped on the fly.
+func (c *Config) stageCache() *StageCache {
+	if c.Stages != nil {
+		return c.Stages
+	}
+	return NewStageCache(c.Checkpoints)
 }
 
 // Report collects every figure of merit a flow run produces.
@@ -166,6 +182,14 @@ type Report struct {
 	Stages []obs.StageTiming
 	Solver *obs.SolverMetrics
 
+	// StageCache is the build-cache provenance block, populated only
+	// when the run executed against a stage cache: one record per link
+	// of the run's stage-key chain, in pipeline order, saying whether
+	// the stage was restored from the cache or computed. Like Stages it
+	// describes one execution, not the result — StripMetrics zeroes it
+	// (and cached report bytes therefore never carry it).
+	StageCache []StageUse `json:",omitempty"`
+
 	// Repair provenance, populated by RunFlowRepair: how many
 	// escalations the run needed (0 = clean first attempt) and the full
 	// attempt ledger, including the failures that triggered escalation.
@@ -177,10 +201,10 @@ type Report struct {
 }
 
 // StripMetrics zeroes the report's wall-clock and observability
-// fields — Runtime, Stages, Solver. It is the one shared helper the
-// determinism suite uses before bit-identical comparisons, so reports
-// compare equal across worker counts, scheduling orders, and tracing
-// on vs. off.
+// fields — Runtime, Stages, Solver, StageCache. It is the one shared
+// helper the determinism suite uses before bit-identical comparisons,
+// so reports compare equal across worker counts, scheduling orders,
+// tracing on vs. off, and cache hits vs. cold computes.
 func (r *Report) StripMetrics() {
 	if r == nil {
 		return
@@ -188,6 +212,7 @@ func (r *Report) StripMetrics() {
 	r.Runtime = 0
 	r.Stages = nil
 	r.Solver = nil
+	r.StageCache = nil
 }
 
 // Clone deep-copies the report — maps, slices and the solver block
@@ -212,6 +237,9 @@ func (r *Report) Clone() *Report {
 		s := *r.Solver
 		s.RouteOverflows = append([]int(nil), r.Solver.RouteOverflows...)
 		cp.Solver = &s
+	}
+	if r.StageCache != nil {
+		cp.StageCache = append([]StageUse(nil), r.StageCache...)
 	}
 	if r.Attempts != nil {
 		cp.Attempts = append([]AttemptRecord(nil), r.Attempts...)
@@ -279,7 +307,8 @@ func flowErr(d bench.Design, cfg Config, stage string, err error) *FlowError {
 // repair ladder and the service's retry layer see injected and
 // organic failures identically; a crash-kind fault kills the process
 // here, modeling a SIGKILL landing between stages. Disabled injection
-// costs one atomic load per stage.
+// costs one atomic load per stage. Restored stages skip their fault
+// point — the stage did not run.
 func stageFault(d bench.Design, cfg Config, stage string) *FlowError {
 	if faultinject.Active() == nil {
 		return nil
@@ -309,13 +338,159 @@ func ctxFlowErr(ctx context.Context, d bench.Design, cfg Config) *FlowError {
 // RunFlow pushes one design through the flow. The context cancels the
 // run at stage and iteration boundaries; a run that completes without
 // cancellation is bit-identical to an uncancellable one.
+//
+// Deprecated: Run is the unified request-level entry point; RunFlow
+// remains for callers that already hold a resolved (design, Config)
+// pair.
 func RunFlow(ctx context.Context, d bench.Design, cfg Config) (*Report, error) {
-	rep, _, err := RunFlowFull(ctx, d, cfg)
+	rep, _, err := execFlow(ctx, d, cfg)
 	return rep, err
 }
 
 // RunFlowFull is RunFlow returning the physical artifacts as well.
+//
+// Deprecated: use Run with ExecOptions.WantArtifacts.
 func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Artifacts, error) {
+	return execFlow(ctx, d, cfg)
+}
+
+// stagePrefix is the resolved cached prefix of one run: the stage-key
+// chain, the index of the deepest stage the cache can satisfy, and the
+// decoded artifacts the restore consumes.
+type stagePrefix struct {
+	chain []StageKey
+	depth int // chain index of the deepest cache-satisfied stage; -1 = none
+
+	mapArt  *mapArtifact
+	compact *compactArtifact
+	place   *placeArtifact
+	pack    *packArtifact
+	route   *routeArtifact
+}
+
+// index locates a stage in the chain (-1 when absent, e.g. pack in
+// flow a).
+func (p *stagePrefix) index(stage string) int {
+	if p == nil {
+		return -1
+	}
+	for i, sk := range p.chain {
+		if sk.Stage == stage {
+			return i
+		}
+	}
+	return -1
+}
+
+// restored reports whether the cache satisfies the stage: its chain
+// index is within the restored prefix.
+func (p *stagePrefix) restored(stage string) bool {
+	if p == nil || p.depth < 0 {
+		return false
+	}
+	i := p.index(stage)
+	return i >= 0 && i <= p.depth
+}
+
+// demote caps the restored depth at the named stage's predecessor —
+// the fallback when a restore step fails shape validation mid-run.
+func (p *stagePrefix) demote(stage string) {
+	if p == nil {
+		return
+	}
+	if i := p.index(stage); i >= 0 && p.depth >= i {
+		p.depth = i - 1
+	}
+}
+
+// resolvePrefix probes the stage cache for the deepest restorable
+// prefix of the chain. Depth N is restorable when artifact N decodes
+// along with every shallower artifact its restore consumes: routing
+// needs the compacted netlist plus the position source (pack for flow
+// b, placement for flow a); packing and placement need the compacted
+// netlist. Decode failures are silent misses — the store already
+// evicted anything corrupt.
+func resolvePrefix(stages *StageCache, chain []StageKey, flow FlowKind) *stagePrefix {
+	p := &stagePrefix{chain: chain, depth: -1}
+	key := make(map[string]string, len(chain))
+	for _, sk := range chain {
+		key[sk.Stage] = sk.Key
+	}
+	tried := map[string]bool{}
+	load := func(stage string, out any) bool {
+		raw, ok := stages.get(key[stage])
+		return ok && decodeStage(raw, out)
+	}
+	okCompact := func() bool {
+		if !tried[StageCompact] {
+			tried[StageCompact] = true
+			var a compactArtifact
+			if load(StageCompact, &a) && a.Netlist != nil {
+				p.compact = &a
+			}
+		}
+		return p.compact != nil
+	}
+	okPlace := func() bool {
+		if !tried[StagePlace] {
+			tried[StagePlace] = true
+			var a placeArtifact
+			if load(StagePlace, &a) && len(a.Positions) == 2*a.Objects {
+				p.place = &a
+			}
+		}
+		return p.place != nil
+	}
+	okPack := func() bool {
+		if !tried[StagePack] {
+			tried[StagePack] = true
+			var a packArtifact
+			if load(StagePack, &a) && a.Pack != nil && len(a.Positions) == 2*a.Objects {
+				p.pack = &a
+			}
+		}
+		return p.pack != nil
+	}
+	okRoute := func() bool {
+		if !tried[StageRoute] {
+			tried[StageRoute] = true
+			var a routeArtifact
+			if load(StageRoute, &a) && a.Routes != nil {
+				p.route = &a
+			}
+		}
+		return p.route != nil
+	}
+
+	switch {
+	case okRoute() && okCompact() &&
+		((flow == FlowB && okPack()) || (flow == FlowA && okPlace())):
+		p.depth = p.index(StageRoute)
+	case flow == FlowB && okPack() && okCompact():
+		p.depth = p.index(StagePack)
+	case okPlace() && okCompact():
+		p.depth = p.index(StagePlace)
+	case okCompact():
+		p.depth = p.index(StageCompact)
+	default:
+		var a mapArtifact
+		if load(StageMap, &a) && a.Netlist != nil {
+			p.mapArt = &a
+			p.depth = p.index(StageMap)
+		}
+	}
+	return p
+}
+
+// execFlow is the staged pipeline behind every flow entry point. With
+// a stage cache it resolves the deepest cached prefix of the run's
+// stage-key chain, restores it bit-identically, computes only the
+// suffix, and stores each computed stage's artifact; without one it is
+// the plain ten-stage flow. Cached-prefix runs produce reports
+// byte-identical (after StripMetrics) to cold runs — restoration
+// reproduces the exact netlists, positions and routing the cold run
+// computes, and everything downstream is deterministic.
+func execFlow(ctx context.Context, d bench.Design, cfg Config) (*Report, *Artifacts, error) {
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
@@ -323,6 +498,7 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	if cfg.PlaceEffort == 0 {
 		cfg.PlaceEffort = 6
 	}
+	stages := cfg.stageCache()
 	rep := &Report{Design: d.Name, Arch: cfg.Arch.Name, Flow: cfg.Flow.String()}
 	if cfg.Defects != nil {
 		rep.DefectSummary = cfg.Defects.String()
@@ -331,78 +507,169 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 		return nil, nil, err
 	}
 
-	// Synthesis front end.
-	if fe := stageFault(d, cfg, "rtl"); fe != nil {
-		return nil, nil, fe
+	// Resolve the deepest cached prefix of this run's key chain.
+	var prefix *stagePrefix
+	if stages != nil {
+		if chain, err := stageChain(d, cfg); err == nil {
+			prefix = resolvePrefix(stages, chain, cfg.Flow)
+		}
 	}
-	end := cfg.Trace.Stage("rtl")
-	rtlNet, err := compileRTL(d)
-	end()
-	if err != nil {
-		return nil, nil, flowErr(d, cfg, "rtl", err)
+	// mark records one chain link's outcome — provenance plus the
+	// cache's per-stage counters — and reports whether the cache
+	// satisfied the stage. Call exactly once per chain stage, in
+	// pipeline order.
+	mark := func(stage string) bool {
+		if prefix == nil {
+			return false
+		}
+		i := prefix.index(stage)
+		if i < 0 {
+			return false
+		}
+		hit := i <= prefix.depth
+		stages.bump(stage, hit)
+		rep.StageCache = append(rep.StageCache, StageUse{Stage: stage, Key: prefix.chain[i].Key, Hit: hit})
+		return hit
 	}
-	if fe := stageFault(d, cfg, "synth"); fe != nil {
-		return nil, nil, fe
+	// save stores a computed stage's artifact, best-effort; without a
+	// cache the payload is never even encoded.
+	save := func(stage string, build func() any) {
+		if stages == nil || prefix == nil {
+			return
+		}
+		if key := prefix.key(stage); key != "" {
+			stages.put(key, encodeStage(build()))
+		}
 	}
-	end = cfg.Trace.Stage("synth")
-	des, err := aig.FromNetlist(rtlNet)
-	if err != nil {
-		end()
-		return nil, nil, flowErr(d, cfg, "synth", err)
-	}
-	des.Optimize(3)
-	end()
 
-	// Delay-oriented technology mapping to the component library; the
-	// compaction step is the area-recovery stage, as in the paper.
-	if fe := stageFault(d, cfg, "map"); fe != nil {
-		return nil, nil, fe
+	// Synthesis front end: rtl → synth → map. A restored mapped (or
+	// deeper) netlist replaces all three; the RTL netlist itself is
+	// still elaborated on demand for verification.
+	var impl *netlist.Netlist // the implementation netlist in flight
+	var rtlNet *netlist.Netlist
+	var err error
+	compileFrontEnd := func() (*techmap.Result, *FlowError) {
+		if fe := stageFault(d, cfg, "rtl"); fe != nil {
+			return nil, fe
+		}
+		end := cfg.Trace.Stage("rtl")
+		rtlNet, err = compileRTL(d)
+		end()
+		if err != nil {
+			return nil, flowErr(d, cfg, "rtl", err)
+		}
+		if fe := stageFault(d, cfg, "synth"); fe != nil {
+			return nil, fe
+		}
+		end = cfg.Trace.Stage("synth")
+		des, err := aig.FromNetlist(rtlNet)
+		if err != nil {
+			end()
+			return nil, flowErr(d, cfg, "synth", err)
+		}
+		des.Optimize(3)
+		end()
+		if fe := stageFault(d, cfg, "map"); fe != nil {
+			return nil, fe
+		}
+		end = cfg.Trace.Stage("map")
+		mapped, err := techmap.Map(des, cfg.Arch, techmap.Options{AreaPasses: 1})
+		end()
+		if err != nil {
+			return nil, flowErr(d, cfg, "map", err)
+		}
+		return mapped, nil
 	}
-	end = cfg.Trace.Stage("map")
-	mapped, err := techmap.Map(des, cfg.Arch, techmap.Options{AreaPasses: 1})
-	end()
-	if err != nil {
-		return nil, nil, flowErr(d, cfg, "map", err)
+
+	compactHit := prefix.restored(StageCompact)
+	mapHit := compactHit || prefix.restored(StageMap)
+	var mapped *techmap.Result
+	if mapHit {
+		mark(StageMap)
+		if !compactHit {
+			rep.GateCount = prefix.mapArt.GateCount
+		}
+	} else {
+		mark(StageMap)
+		var fe *FlowError
+		if mapped, fe = compileFrontEnd(); fe != nil {
+			return nil, nil, fe
+		}
+		rep.GateCount = mapped.Area
+		// Snapshot the mapped netlist before compaction touches it.
+		save(StageMap, func() any {
+			return &mapArtifact{Schema: stageArtifactSchema, Netlist: mapped.Netlist, GateCount: rep.GateCount}
+		})
 	}
-	rep.GateCount = mapped.Area
 
 	// Regularity-driven logic compaction (the span also covers the
 	// buffer-insertion tail of logic synthesis).
-	if fe := stageFault(d, cfg, "compact"); fe != nil {
-		return nil, nil, fe
-	}
-	end = cfg.Trace.Stage("compact")
-	impl := mapped.Netlist
-	if !cfg.SkipCompaction {
-		cres, err := compact.Run(mapped.Netlist, cfg.Arch)
-		if err != nil {
-			end()
-			return nil, nil, flowErr(d, cfg, "compact", err)
-		}
-		impl = cres.Netlist
-		rep.CompactionReduction = cres.Reduction()
-		rep.ConfigCounts = cres.ConfigCounts
-		rep.FullAdders = cres.FullAdders
+	if compactHit {
+		mark(StageCompact)
+		ca := prefix.compact
+		impl = ca.Netlist
+		rep.GateCount = ca.GateCount
+		rep.CompactionReduction = ca.Reduction
+		rep.ConfigCounts = ca.ConfigCounts
+		rep.FullAdders = ca.FullAdders
+		rep.BuffersInserted = ca.BuffersInserted
 	} else {
-		// Uncompacted component netlists still need configuration types
-		// for packing: wrap each component cell as its identity config.
-		impl, err = identityConfigs(mapped.Netlist, cfg.Arch)
-		if err != nil {
-			end()
-			return nil, nil, flowErr(d, cfg, "compact", err)
+		mark(StageCompact)
+		if fe := stageFault(d, cfg, "compact"); fe != nil {
+			return nil, nil, fe
 		}
+		end := cfg.Trace.Stage("compact")
+		var base *netlist.Netlist
+		if mapped != nil {
+			base = mapped.Netlist
+		} else {
+			base = prefix.mapArt.Netlist // restored mapped netlist
+		}
+		if !cfg.SkipCompaction {
+			cres, err := compact.Run(base, cfg.Arch)
+			if err != nil {
+				end()
+				return nil, nil, flowErr(d, cfg, "compact", err)
+			}
+			impl = cres.Netlist
+			rep.CompactionReduction = cres.Reduction()
+			rep.ConfigCounts = cres.ConfigCounts
+			rep.FullAdders = cres.FullAdders
+		} else {
+			// Uncompacted component netlists still need configuration types
+			// for packing: wrap each component cell as its identity config.
+			impl, err = identityConfigs(base, cfg.Arch)
+			if err != nil {
+				end()
+				return nil, nil, flowErr(d, cfg, "compact", err)
+			}
+		}
+		// Physical synthesis: fanout-driven buffer insertion (Sec. 3.1's
+		// "buffer insertion ... to meet timing constraints").
+		rep.BuffersInserted = insertBuffers(impl, cfg.Arch)
+		end()
+		save(StageCompact, func() any {
+			return &compactArtifact{
+				Schema: stageArtifactSchema, Netlist: impl, GateCount: rep.GateCount,
+				Reduction: rep.CompactionReduction, ConfigCounts: rep.ConfigCounts,
+				FullAdders: rep.FullAdders, BuffersInserted: rep.BuffersInserted,
+			}
+		})
 	}
-
-	// Physical synthesis: fanout-driven buffer insertion (Sec. 3.1's
-	// "buffer insertion ... to meet timing constraints").
-	rep.BuffersInserted = insertBuffers(impl, cfg.Arch)
-	end()
 
 	if cfg.Verify {
+		// Verification always runs — it is a correctness check the
+		// request asked for, whether the netlist was computed or
+		// restored. The RTL netlist comes from the per-process cache.
 		if fe := stageFault(d, cfg, "verify"); fe != nil {
 			return nil, nil, fe
 		}
-		end = cfg.Trace.Stage("verify")
+		if rtlNet == nil {
+			if rtlNet, err = compileRTL(d); err != nil {
+				return nil, nil, flowErr(d, cfg, "rtl", err)
+			}
+		}
+		end := cfg.Trace.Stage("verify")
 		err := netlist.Equivalent(rtlNet, impl, 8, 4, cfg.Seed+77)
 		end()
 		if err != nil {
@@ -415,34 +682,43 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 
 	art := &Artifacts{Impl: impl}
 
-	// ASIC-style placement (physical synthesis). Stuck PLB sites from
-	// the defect map are excluded from the spread and every move.
+	// ASIC-style placement (physical synthesis). The problem is always
+	// built — every downstream stage reads it — but the annealed
+	// coordinates come from the cache when the placement (or anything
+	// deeper) is restored. Stuck PLB sites from the defect map are
+	// excluded from the spread and every move.
 	popts := place.Options{Seed: cfg.Seed}
 	if cfg.Defects != nil {
 		popts.Blocked = cfg.Defects.Stuck
 	}
-	if fe := stageFault(d, cfg, "place"); fe != nil {
-		return nil, nil, fe
+	placeHit := prefix.restored(StagePlace)
+	if !placeHit {
+		if fe := stageFault(d, cfg, "place"); fe != nil {
+			return nil, nil, fe
+		}
 	}
-	end = cfg.Trace.Stage("place")
+	end := cfg.Trace.Stage("place")
 	prob, err := place.Build(impl, place.ArchArea(cfg.Arch), popts)
 	if err != nil {
 		end()
 		return nil, nil, flowErr(d, cfg, "place", err)
 	}
-	// Stage-granular build cache: a stored post-refinement snapshot
-	// with this run's exact placement inputs replaces annealing and
-	// refinement wholesale — downstream stages read only the object
-	// coordinates the snapshot restores bit-identically.
-	ckptKey := ""
-	restored := false
-	if cfg.Checkpoints != nil {
-		ckptKey = placeCheckpointKey(d, cfg)
-		if pos, ok := loadPlaceCheckpoint(cfg.Checkpoints, ckptKey); ok {
-			restored = prob.SetPositions(pos) == nil
+	packHit := cfg.Flow == FlowB && prefix.restored(StagePack)
+	if packHit {
+		// The pack artifact holds the legalized post-pack coordinates:
+		// annealing, net weighting, refinement and packing all collapse
+		// into one restore.
+		if prob.SetPositions(prefix.pack.Positions) != nil {
+			prefix.demote(StagePlace) // shape mismatch: recompute placement onward
+			packHit, placeHit = false, false
+		}
+	} else if placeHit {
+		if prob.SetPositions(prefix.place.Positions) != nil {
+			prefix.demote(StagePlace)
+			placeHit = false
 		}
 	}
-	if !restored {
+	if !placeHit && !packHit {
 		err = prob.Anneal(place.Options{
 			Seed: cfg.Seed, MovesPerObj: cfg.PlaceEffort, Ctx: ctx,
 			Workers: cfg.PlaceWorkers, Trace: cfg.Trace.Anneal(),
@@ -455,53 +731,82 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 		}
 		return nil, nil, flowErr(d, cfg, "place", err)
 	}
-
-	// Pre-layout timing for net weighting and the provisional clock.
-	if fe := stageFault(d, cfg, "sta"); fe != nil {
-		return nil, nil, fe
+	mark(StagePlace)
+	if !placeHit && !packHit {
+		// Snapshot the post-anneal placement. Pre-refinement on
+		// purpose: the place key excludes the clock, and only net
+		// weighting + refinement read it, so they rerun in the suffix
+		// and every clock-target variant shares this snapshot.
+		save(StagePlace, func() any {
+			return &placeArtifact{Schema: stageArtifactSchema, Objects: len(prob.Objs), Positions: prob.Positions()}
+		})
 	}
-	end = cfg.Trace.Stage("sta")
-	pre, err := sta.Analyze(impl, cfg.Arch, nil, nil, sta.Options{ClockPeriod: cfg.ClockPeriod})
-	end()
-	if err != nil {
-		return nil, nil, flowErr(d, cfg, "sta", err)
+
+	// Pre-layout timing feeds three consumers — the auto-derived clock,
+	// refinement's net weights, and packing's criticality — computed
+	// only when one of them needs it.
+	needRefine := !packHit
+	needPre := cfg.ClockPeriod == 0 || needRefine || (cfg.Flow == FlowB && !packHit)
+	var pre *sta.Report
+	if needPre {
+		if fe := stageFault(d, cfg, "sta"); fe != nil {
+			return nil, nil, fe
+		}
+		end = cfg.Trace.Stage("sta")
+		pre, err = sta.Analyze(impl, cfg.Arch, nil, nil, sta.Options{ClockPeriod: cfg.ClockPeriod})
+		end()
+		if err != nil {
+			return nil, nil, flowErr(d, cfg, "sta", err)
+		}
 	}
 	clock := cfg.ClockPeriod
 	if clock == 0 {
 		clock = 1.2 * pre.MaxArrival
 	}
 	rep.ClockPeriod = clock
-	if !restored {
+	if needRefine {
 		// Net weights steer only refinement (nothing downstream reads
-		// them), so the restored path skips the whole block and saves
-		// the snapshot other runs will restore.
+		// them); a restored post-pack placement skips the whole block.
 		end = cfg.Trace.Stage("place")
 		for ni, w := range sta.NetWeights(impl, prob, pre, clock, 4) {
 			prob.SetNetWeight(ni, w)
 		}
 		prob.Refine(0.10, 3, cfg.Seed+3)
 		end()
-		savePlaceCheckpoint(cfg.Checkpoints, ckptKey, prob)
 	}
 
 	// Flow b: pack into the regular PLB array.
 	if cfg.Flow == FlowB {
-		if fe := stageFault(d, cfg, "pack"); fe != nil {
-			return nil, nil, fe
-		}
-		end = cfg.Trace.Stage("pack")
-		crit := sta.ObjCriticality(impl, prob, pre, clock)
-		pres, err := pack.Run(impl, cfg.Arch, prob, pack.Options{Seed: cfg.Seed, Criticality: crit})
-		end()
-		if err != nil {
-			return nil, nil, flowErr(d, cfg, "pack", err)
+		var pres *pack.Result
+		if packHit {
+			mark(StagePack)
+			pres = prefix.pack.Pack
+		} else {
+			mark(StagePack)
+			if fe := stageFault(d, cfg, "pack"); fe != nil {
+				return nil, nil, fe
+			}
+			end = cfg.Trace.Stage("pack")
+			crit := sta.ObjCriticality(impl, prob, pre, clock)
+			pres, err = pack.Run(impl, cfg.Arch, prob, pack.Options{Seed: cfg.Seed, Criticality: crit})
+			end()
+			if err != nil {
+				return nil, nil, flowErr(d, cfg, "pack", err)
+			}
+			save(StagePack, func() any {
+				return &packArtifact{
+					Schema: stageArtifactSchema, Pack: pres,
+					Objects: len(prob.Objs), Positions: prob.Positions(),
+				}
+			})
 		}
 		art.Pack = pres
 		rep.Rows, rep.Cols = pres.Rows, pres.Cols
 		rep.DieArea = pres.DieArea
 		rep.Utilization = pres.Utilization()
 		rep.Perturbation = pres.Perturbation
-		// Via personalization of the packed fabric.
+		// Via personalization of the packed fabric (cheap and purely a
+		// function of netlist + arch, so it always recomputes).
 		if fe := stageFault(d, cfg, "viamap"); fe != nil {
 			return nil, nil, fe
 		}
@@ -523,24 +828,34 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 
 	// ASIC-style global routing over the array / core. Dead tracks and
 	// via faults from the defect map constrain the search graph.
-	ropts := route.Options{
-		Ctx: ctx, CapacityScale: cfg.RouteCapacityScale, CellsScale: cfg.RouteCellsScale,
-		Pool: cfg.routePool, Trace: cfg.Trace.Route(),
-	}
-	if cfg.Defects != nil {
-		ropts.Faults = cfg.Defects
-	}
-	if fe := stageFault(d, cfg, "route"); fe != nil {
-		return nil, nil, fe
-	}
-	end = cfg.Trace.Stage("route")
-	routes, err := route.Route(prob, ropts)
-	end()
-	if err != nil {
-		if fe := ctxFlowErr(ctx, d, cfg); fe != nil {
+	var routes *route.Result
+	if prefix.restored(StageRoute) {
+		mark(StageRoute)
+		routes = prefix.route.Routes
+	} else {
+		mark(StageRoute)
+		ropts := route.Options{
+			Ctx: ctx, CapacityScale: cfg.RouteCapacityScale, CellsScale: cfg.RouteCellsScale,
+			Pool: cfg.routePool, Trace: cfg.Trace.Route(),
+		}
+		if cfg.Defects != nil {
+			ropts.Faults = cfg.Defects
+		}
+		if fe := stageFault(d, cfg, "route"); fe != nil {
 			return nil, nil, fe
 		}
-		return nil, nil, flowErr(d, cfg, "route", err)
+		end = cfg.Trace.Stage("route")
+		routes, err = route.Route(prob, ropts)
+		end()
+		if err != nil {
+			if fe := ctxFlowErr(ctx, d, cfg); fe != nil {
+				return nil, nil, fe
+			}
+			return nil, nil, flowErr(d, cfg, "route", err)
+		}
+		save(StageRoute, func() any {
+			return &routeArtifact{Schema: stageArtifactSchema, Routes: routes}
+		})
 	}
 	art.Prob = prob
 	art.Routes = routes
@@ -581,6 +896,15 @@ func RunFlowFull(ctx context.Context, d bench.Design, cfg Config) (*Report, *Art
 	}
 	rep.Runtime = time.Since(start)
 	return rep, art, nil
+}
+
+// key returns the chain key for a stage ("" when the prefix or stage
+// is absent — the cache put becomes a no-op).
+func (p *stagePrefix) key(stage string) string {
+	if i := p.index(stage); i >= 0 {
+		return p.chain[i].Key
+	}
+	return ""
 }
 
 // compileRTL caches elaborated benchmark netlists: paper-scale designs

@@ -281,31 +281,80 @@ func CanonicalKey(namespace string, v any) (string, error) {
 
 // ExecOptions carries the transport-level state a request execution
 // may borrow — observation and acceleration, never meaning: a traced,
-// checkpoint-backed run's report is bit-identical (after StripMetrics)
-// to a bare one, so none of this enters the request or its cache key.
+// cache-backed run's report is bit-identical (after StripMetrics) to a
+// bare one, so none of this enters the request or its cache key.
 type ExecOptions struct {
 	// Trace records the run's stage spans and solver counters.
 	Trace *obs.Run
-	// Checkpoints is the stage-granular build cache (see Config).
+	// Stages is the stage-granular build cache: the run restores the
+	// deepest cached prefix of its stage-key chain and stores every
+	// computed stage's artifact (see Config.Stages).
+	Stages *StageCache
+	// WantArtifacts asks Run to return the physical artifacts (netlist,
+	// placement, packing, routing) alongside the report. Defect-injected
+	// runs go through the repair ladder, which reports without
+	// artifacts.
+	WantArtifacts bool
+	// Checkpoints is the PR 7 placement-checkpoint form of Stages; when
+	// Stages is nil it is wrapped as NewStageCache(Checkpoints).
+	//
+	// Deprecated: set Stages.
 	Checkpoints *artifact.Store
 }
 
-// RunRequest resolves and executes a FlowRequest under the flow
-// supervisor: panic isolation, and the bounded repair ladder when the
-// request injects defects. trace optionally records the run's stage
-// spans and solver counters; it is transport state, never part of the
-// request or its cache key.
-func RunRequest(ctx context.Context, req FlowRequest, trace *obs.Run) (*Report, error) {
-	return RunRequestExec(ctx, req, ExecOptions{Trace: trace})
+// RunResult is what Run produces: the report, optionally the physical
+// artifacts, and the request's per-stage key chain (the content
+// addresses its artifacts live under — for a repair-ladder run, the
+// baseline attempt's chain).
+type RunResult struct {
+	Report    *Report     `json:"report"`
+	Artifacts *Artifacts  `json:"-"`
+	StageKeys []StageKey  `json:"stage_keys,omitempty"`
 }
 
-// RunRequestExec is RunRequest with the full set of execution options.
-func RunRequestExec(ctx context.Context, req FlowRequest, opts ExecOptions) (*Report, error) {
+// Run is the unified pipeline entry point: it resolves the request,
+// executes the staged flow under the supervisor (panic isolation, and
+// the bounded repair ladder when the request injects defects), and —
+// when opts.Stages is set — restores the deepest cached stage prefix
+// and computes only the suffix. It subsumes the earlier RunFlow /
+// RunFlowFull / RunRequest / RunRequestExec quartet, which remain as
+// deprecated wrappers.
+func Run(ctx context.Context, req FlowRequest, opts ExecOptions) (*RunResult, error) {
 	d, cfg, err := req.Resolve()
 	if err != nil {
 		return nil, err
 	}
 	cfg.Trace = opts.Trace
+	cfg.Stages = opts.Stages
 	cfg.Checkpoints = opts.Checkpoints
-	return supervisedRun(ctx, d, cfg, 0)
+	chain, err := stageChain(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, art, err := supervisedRunFull(ctx, d, cfg, 0, opts.WantArtifacts)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Report: rep, Artifacts: art, StageKeys: chain}, nil
+}
+
+// RunRequest resolves and executes a FlowRequest under the flow
+// supervisor. trace optionally records the run's stage spans and
+// solver counters; it is transport state, never part of the request or
+// its cache key.
+//
+// Deprecated: use Run.
+func RunRequest(ctx context.Context, req FlowRequest, trace *obs.Run) (*Report, error) {
+	return RunRequestExec(ctx, req, ExecOptions{Trace: trace})
+}
+
+// RunRequestExec is RunRequest with the full set of execution options.
+//
+// Deprecated: use Run.
+func RunRequestExec(ctx context.Context, req FlowRequest, opts ExecOptions) (*Report, error) {
+	res, err := Run(ctx, req, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
 }

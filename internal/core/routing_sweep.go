@@ -45,7 +45,8 @@ func RunRoutingSweep(ctx context.Context, d bench.Design, arch *cells.PLBArch, c
 	// ready-sized State.
 	pool := route.NewPool()
 	rep, art, err := RunFlowFull(ctx, d, Config{Arch: arch, Flow: FlowB, Seed: opts.Seed,
-		PlaceWorkers: opts.PlaceWorkers, Trace: run, routePool: pool})
+		PlaceWorkers: opts.PlaceWorkers, Trace: run,
+		Stages: opts.Stages, routePool: pool})
 	if err != nil {
 		return nil, err
 	}

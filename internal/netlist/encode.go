@@ -1,0 +1,103 @@
+package netlist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vpga/internal/logic"
+)
+
+// JSON encoding of a netlist, used by the stage-granular artifact
+// pipeline to serialize the mapped and compacted netlists at stage
+// boundaries. The wire form preserves everything the flow's later
+// stages read — node order (IDs are dense slice indexes), kinds,
+// names, cell types, fanins, truth tables, constants and macro groups
+// — so decode(encode(nl)) reproduces the netlist bit-identically:
+// re-running a flow from a restored netlist equals an uninterrupted
+// run.
+
+// encSchema versions the wire form; decoders reject anything newer.
+const encSchema = 1
+
+// encNode is one node on the wire. Field order matters only for
+// readability; IDs are implicit (slice index).
+type encNode struct {
+	Kind     uint8    `json:"k"`
+	Name     string   `json:"n,omitempty"`
+	Type     string   `json:"t,omitempty"`
+	Fanins   []NodeID `json:"f,omitempty"`
+	FuncN    int      `json:"fn,omitempty"`
+	FuncBits uint64   `json:"fb,omitempty"`
+	ConstVal bool     `json:"c,omitempty"`
+	Group    int32    `json:"g,omitempty"`
+}
+
+type encNetlist struct {
+	Schema int       `json:"schema"`
+	Name   string    `json:"name"`
+	Nodes  []encNode `json:"nodes"`
+	PIs    []NodeID  `json:"pis,omitempty"`
+	POs    []NodeID  `json:"pos,omitempty"`
+}
+
+// MarshalJSON encodes the netlist. The unexported graph arrays are
+// flattened into a stable, versioned wire form.
+func (n *Netlist) MarshalJSON() ([]byte, error) {
+	enc := encNetlist{
+		Schema: encSchema,
+		Name:   n.Name,
+		Nodes:  make([]encNode, len(n.nodes)),
+		PIs:    n.pis,
+		POs:    n.pos,
+	}
+	for i, node := range n.nodes {
+		if node.ID != NodeID(i) {
+			return nil, fmt.Errorf("netlist: node %d carries ID %d; encode requires dense IDs", i, node.ID)
+		}
+		enc.Nodes[i] = encNode{
+			Kind: uint8(node.Kind), Name: node.Name, Type: node.Type,
+			Fanins: node.Fanins, FuncN: node.Func.N, FuncBits: node.Func.Bits,
+			ConstVal: node.ConstVal, Group: node.Group,
+		}
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes a netlist encoded by MarshalJSON, validating
+// schema, ID density and fanin references.
+func (n *Netlist) UnmarshalJSON(data []byte) error {
+	var enc encNetlist
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return err
+	}
+	if enc.Schema > encSchema {
+		return fmt.Errorf("netlist: wire schema %d is newer than supported %d", enc.Schema, encSchema)
+	}
+	nodes := make([]*Node, len(enc.Nodes))
+	for i, en := range enc.Nodes {
+		for _, f := range en.Fanins {
+			if int(f) < 0 || int(f) >= len(enc.Nodes) {
+				return fmt.Errorf("netlist: node %d fanin %d out of range [0,%d)", i, f, len(enc.Nodes))
+			}
+		}
+		nodes[i] = &Node{
+			ID: NodeID(i), Kind: Kind(en.Kind), Name: en.Name, Type: en.Type,
+			Fanins: en.Fanins, Func: logic.TT{N: en.FuncN, Bits: en.FuncBits},
+			ConstVal: en.ConstVal, Group: en.Group,
+		}
+	}
+	for _, io := range [][]NodeID{enc.PIs, enc.POs} {
+		for _, id := range io {
+			if int(id) < 0 || int(id) >= len(nodes) {
+				return fmt.Errorf("netlist: IO node %d out of range [0,%d)", id, len(nodes))
+			}
+		}
+	}
+	n.Name = enc.Name
+	n.nodes = nodes
+	n.pis = enc.PIs
+	n.pos = enc.POs
+	n.fanouts = nil
+	n.fanoutsValid = false
+	return nil
+}

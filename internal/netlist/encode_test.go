@@ -1,0 +1,89 @@
+package netlist
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vpga/internal/logic"
+)
+
+// buildEncodeSample covers every node kind the wire form must carry:
+// inputs, gates with truth tables, a DFF, a constant, and outputs.
+func buildEncodeSample() *Netlist {
+	n := New("enc")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	x := n.AddGate("XOR2", logic.TTXor2, a, b)
+	q := n.AddDFF("q", x)
+	c1 := n.AddConst(true)
+	y := n.AddGate("AND2", logic.TTAnd2, q, c1)
+	n.AddOutput("out", y)
+	return n
+}
+
+// TestNetlistRoundTrip: encode → decode reproduces the netlist exactly
+// — same structure, same simulation-relevant content, and a stable
+// re-encoding (the stage cache relies on decode(encode(n)) being a
+// drop-in replacement for n).
+func TestNetlistRoundTrip(t *testing.T) {
+	orig := buildEncodeSample()
+	enc, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Netlist
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("decoded netlist invalid: %v", err)
+	}
+	if got, want := back.String(), orig.String(); got != want {
+		t.Fatalf("decoded netlist diverged:\n got %s\nwant %s", got, want)
+	}
+	// Fanouts are derived state, rebuilt lazily after decode.
+	for _, node := range orig.Nodes() {
+		if got, want := back.FanoutCount(node.ID), orig.FanoutCount(node.ID); got != want {
+			t.Fatalf("node %d fanout count %d, want %d", node.ID, got, want)
+		}
+	}
+	re, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatalf("re-encoding not byte-identical:\n first %s\nsecond %s", enc, re)
+	}
+}
+
+// TestNetlistDecodeRejects: malformed wire forms fail loudly instead
+// of producing a half-valid netlist.
+func TestNetlistDecodeRejects(t *testing.T) {
+	enc, err := json.Marshal(buildEncodeSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(s string) string{
+		"newer schema": func(s string) string {
+			return strings.Replace(s, `"schema":1`, `"schema":99`, 1)
+		},
+		"fanin out of range": func(s string) string {
+			return strings.Replace(s, `"f":[0,1]`, `"f":[0,99]`, 1)
+		},
+		"po out of range": func(s string) string {
+			return strings.Replace(s, `"pos":[`, `"pos":[99,`, 1)
+		},
+	}
+	for name, mutate := range cases {
+		bad := mutate(string(enc))
+		if bad == string(enc) {
+			t.Fatalf("%s: mutation did not apply to %s", name, enc)
+		}
+		var back Netlist
+		if err := json.Unmarshal([]byte(bad), &back); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}

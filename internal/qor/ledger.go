@@ -73,6 +73,13 @@ type Record struct {
 	RuntimeSeconds float64            `json:"runtime_seconds,omitempty"`
 	StageSeconds   map[string]float64 `json:"stage_seconds,omitempty"`
 	MovesPerSec    float64            `json:"moves_per_sec,omitempty"`
+	// Stage-cache provenance: which pipeline stages this run restored
+	// from the stage-granular build cache vs computed. Perf, not QoR —
+	// a cached-prefix run's QoR figures are bit-identical to a cold
+	// run's, so cache luck must not affect drift gating.
+	StageCacheHits   int      `json:"stage_cache_hits,omitempty"`
+	StageCacheMisses int      `json:"stage_cache_misses,omitempty"`
+	StagesRestored   []string `json:"stages_restored,omitempty"`
 }
 
 // ID is the record's identity within a ledger or baseline: the
@@ -93,6 +100,9 @@ func (r *Record) StripPerf() {
 	r.RuntimeSeconds = 0
 	r.StageSeconds = nil
 	r.MovesPerSec = 0
+	r.StageCacheHits = 0
+	r.StageCacheMisses = 0
+	r.StagesRestored = nil
 }
 
 // FromReport extracts a Record from a flow report. key may be "" for
@@ -120,6 +130,14 @@ func FromReport(rep *core.Report, seed int64, key string) Record {
 		}
 		if rep.Solver != nil && rec.StageSeconds["place"] > 0 {
 			rec.MovesPerSec = float64(rep.Solver.AnnealProposed) / rec.StageSeconds["place"]
+		}
+	}
+	for _, use := range rep.StageCache {
+		if use.Hit {
+			rec.StageCacheHits++
+			rec.StagesRestored = append(rec.StagesRestored, use.Stage)
+		} else {
+			rec.StageCacheMisses++
 		}
 	}
 	return rec

@@ -1,0 +1,78 @@
+package route
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRouteResultRoundTrip: encode → decode reproduces a routed design
+// completely enough that every downstream consumer — Capacity, WireRC,
+// NetCap, AssignTracks — answers identically, and re-encoding is
+// byte-stable (the stage cache restores routes from this wire form).
+func TestRouteResultRoundTrip(t *testing.T) {
+	prob := prepPlacement(t, src)
+	orig, err := Route(prob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	if back.Capacity() != orig.Capacity() {
+		t.Fatalf("capacity %d, want %d", back.Capacity(), orig.Capacity())
+	}
+	for ni := range prob.Nets {
+		if got, want := back.NetCap(ni), orig.NetCap(ni); got != want {
+			t.Fatalf("net %d cap %v, want %v", ni, got, want)
+		}
+		for k := 0; k < len(orig.SinkDist[ni]); k++ {
+			gd, gc := back.WireRC(ni, k)
+			wd, wc := orig.WireRC(ni, k)
+			if gd != wd || gc != wc {
+				t.Fatalf("net %d sink %d RC (%v,%v), want (%v,%v)", ni, k, gd, gc, wd, wc)
+			}
+		}
+	}
+	if !reflect.DeepEqual(back.AssignTracks(), orig.AssignTracks()) {
+		t.Fatal("track assignment diverged after round trip")
+	}
+
+	re, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatal("re-encoding not byte-identical")
+	}
+}
+
+// TestRouteResultDecodeRejects: a newer schema is refused — an old
+// binary must treat a future cache entry as a miss, not misread it.
+func TestRouteResultDecodeRejects(t *testing.T) {
+	prob := prepPlacement(t, src)
+	orig, err := Route(prob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(enc), `"schema":1`, `"schema":99`, 1)
+	if bad == string(enc) {
+		t.Fatal("schema mutation did not apply")
+	}
+	var back Result
+	if err := json.Unmarshal([]byte(bad), &back); err == nil {
+		t.Error("decode accepted a newer schema")
+	}
+}

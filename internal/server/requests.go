@@ -140,10 +140,20 @@ func (s *Server) buildRunJob(req core.FlowRequest) (*job, error) {
 	j := s.newJob("run", key, label, func(ctx context.Context, tr *obs.Tracer) (any, error) {
 		run := tr.NewRun(label)
 		defer run.Close()
-		return core.RunRequestExec(ctx, req, core.ExecOptions{
-			Trace: run, Checkpoints: s.store,
+		res, err := core.Run(ctx, req, core.ExecOptions{
+			Trace: run, Stages: s.stages,
 		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Report, nil
 	})
+	// The stage-key chain is derivable from the request alone, so it is
+	// available on the job from acceptance — even for cache hits that
+	// never execute.
+	if keys, err := req.StageKeys(); err == nil {
+		j.stageKeys = keys
+	}
 	// Cache a metrics-stripped deep clone: wall-clock artifacts are
 	// execution state, not content, and the cache must never alias a
 	// report already handed to a response encoder.
@@ -177,7 +187,7 @@ func (s *Server) buildMatrixJob(req MatrixRequest) (*job, error) {
 		opts := core.MatrixOptions{
 			Seed: n.Seed, PlaceEffort: n.PlaceEffort, Parallel: req.Parallel,
 			ContinueOnError: n.ContinueOnError, RepairBudget: n.RepairBudget,
-			Trace: tr,
+			Trace: tr, Stages: s.stages,
 		}
 		if n.DefectRate > 0 {
 			opts.Defects = defect.New(n.DefectSeed, n.DefectRate)
@@ -341,7 +351,7 @@ func (s *Server) buildGranularitySweepJob(req SweepRequest) (*job, error) {
 	}
 	j := s.newJob("sweep/granularity", key, "sweep/"+d.Name, func(ctx context.Context, tr *obs.Tracer) (any, error) {
 		return core.RunGranularitySweep(ctx, d, archs, core.SweepOptions{
-			Seed: req.Seed, Parallel: req.Parallel, Trace: tr,
+			Seed: req.Seed, Parallel: req.Parallel, Trace: tr, Stages: s.stages,
 		})
 	})
 	j.setBody(req)
@@ -378,7 +388,7 @@ func (s *Server) buildRoutingSweepJob(req SweepRequest) (*job, error) {
 	}
 	j := s.newJob("sweep/routing", key, "routing/"+d.Name, func(ctx context.Context, tr *obs.Tracer) (any, error) {
 		return core.RunRoutingSweep(ctx, d, arch, capacities, core.SweepOptions{
-			Seed: req.Seed, Parallel: req.Parallel, Trace: tr,
+			Seed: req.Seed, Parallel: req.Parallel, Trace: tr, Stages: s.stages,
 		})
 	})
 	j.setBody(req)

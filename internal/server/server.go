@@ -126,6 +126,10 @@ type job struct {
 	// journal persists on acceptance so replay can rebuild the job
 	// (nil = not journaled).
 	body []byte
+	// stageKeys is the run's per-stage key chain (run jobs only):
+	// which content addresses the job's artifacts live under, so
+	// clients can see which prefix the run will reuse.
+	stageKeys []core.StageKey
 	// replayed marks a job rebuilt from the journal after a restart.
 	replayed bool
 
@@ -171,6 +175,7 @@ func (j *job) response() jobResponse {
 	return jobResponse{
 		ID: j.id, Kind: j.kind, Status: j.status, Key: j.key,
 		Result: j.result, Error: j.errMsg, Stage: j.stage, ErrorKind: j.errKind,
+		StageKeys: j.stageKeys,
 	}
 }
 
@@ -191,6 +196,10 @@ type jobResponse struct {
 	// remote worker must still count as a timeout when the envelope
 	// comes back over HTTP, without parsing the error string.
 	ErrorKind string `json:"error_kind,omitempty"`
+	// StageKeys is the run's per-stage key chain (run jobs only): the
+	// content addresses of the stage-granular build-cache artifacts the
+	// run reads and writes, in pipeline order.
+	StageKeys []core.StageKey `json:"stage_keys,omitempty"`
 }
 
 // Server is the flow service. Create with New, serve with any
@@ -205,6 +214,13 @@ type Server struct {
 	// journal and the persistent artifact store.
 	journal *journal
 	store   *artifact.Store
+	// stages is the stage-granular build cache over the artifact store
+	// (nil without DataDir): every flow run the daemon executes
+	// restores the deepest cached prefix of its stage-key chain and
+	// persists the stages it computes, so requests sharing a prefix —
+	// clock-target sweeps, routing-knob variants, flow-a/b pairs —
+	// reuse each other's artifacts across jobs and restarts.
+	stages *core.StageCache
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -265,6 +281,7 @@ func New(opts Options) (*Server, error) {
 		queue:    make(chan *job, opts.QueueDepth),
 		journal:  jn,
 		store:    store,
+		stages:   core.NewStageCache(store),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		baseCtx:  ctx,
@@ -947,6 +964,10 @@ type statsSnapshot struct {
 	// peer has queried GET /v1/cache/{key}).
 	PeerHits, PeerMisses int64
 	PeerServed           int64
+
+	// Stage-granular build cache, per stage (nil when Options.DataDir
+	// is unset — the stage cache needs the artifact store).
+	StageCache core.StageCacheStats
 }
 
 // stats snapshots every runtime stat both observability endpoints
@@ -996,6 +1017,7 @@ func (s *Server) stats() statsSnapshot {
 		st.StoreHits = ss.Hits
 		st.StoreCorruptEvicted = ss.CorruptEvicted
 	}
+	st.StageCache = s.stages.Stats()
 	return st
 }
 
@@ -1039,6 +1061,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"misses": st.PeerMisses,
 			"served": st.PeerServed,
 		},
+		"stage_cache": st.StageCache,
 	})
 }
 
@@ -1083,6 +1106,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("vpgad_queue_capacity", "queue bound before 429 backpressure", int64(st.QueueCapacity))
 	gauge("vpgad_workers", "worker pool size", int64(st.Workers))
 	gauge("vpgad_cache_entries", "live content-addressed cache entries", int64(st.CacheEntries))
+	// Stage-granular build-cache counters, labeled by stage. Emitted
+	// only once a stage has been resolved (Prometheus treats an absent
+	// series as zero).
+	if len(st.StageCache) > 0 {
+		fmt.Fprintf(w, "# HELP vpgad_stage_cache_hits_total flow stages satisfied from the stage-granular build cache\n# TYPE vpgad_stage_cache_hits_total counter\n")
+		for _, stage := range st.StageCache.Stages() {
+			fmt.Fprintf(w, "vpgad_stage_cache_hits_total{stage=%q} %d\n", stage, st.StageCache[stage].Hits)
+		}
+		fmt.Fprintf(w, "# HELP vpgad_stage_cache_misses_total flow stages recomputed despite the stage-granular build cache\n# TYPE vpgad_stage_cache_misses_total counter\n")
+		for _, stage := range st.StageCache.Stages() {
+			fmt.Fprintf(w, "vpgad_stage_cache_misses_total{stage=%q} %d\n", stage, st.StageCache[stage].Misses)
+		}
+	}
 	fmt.Fprintf(w, "# HELP vpgad_uptime_seconds seconds since the daemon started\n# TYPE vpgad_uptime_seconds gauge\nvpgad_uptime_seconds %s\n",
 		strconv.FormatFloat(st.UptimeSeconds, 'f', 3, 64))
 	s.jobDur.write(w, "vpgad_job_duration_seconds", "wall-clock job execution time")

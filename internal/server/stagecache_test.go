@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRunStageKeysInStatus: run-job status JSON carries the request's
+// per-stage key chain, matching what the request derives itself.
+func TestRunStageKeysInStatus(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, DataDir: t.TempDir()})
+	_, jr := postJSON(t, ts, "/v1/runs?wait=1", runBody)
+	if jr.Status != "done" {
+		t.Fatalf("run failed: %s", jr.Error)
+	}
+	want := []string{"map", "compact", "place", "pack", "route"}
+	if len(jr.StageKeys) != len(want) {
+		t.Fatalf("stage_keys %v, want stages %v", jr.StageKeys, want)
+	}
+	for i, sk := range jr.StageKeys {
+		if sk.Stage != want[i] || len(sk.Key) != 64 {
+			t.Fatalf("stage_keys[%d] = %+v, want stage %q with a sha256 key", i, sk, want[i])
+		}
+	}
+}
+
+// stageCounters parses the labeled stage-cache counters out of
+// Prometheus text.
+func stageCounters(text, name string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+`{stage="`)
+		if !ok {
+			continue
+		}
+		stage, val, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(val, "%g", &v); err == nil {
+			out[stage] = v
+		}
+	}
+	return out
+}
+
+// TestStageCacheMetrics: the daemon counts per-stage cache traffic —
+// a cold run misses every stage, and a routing-only variant of the
+// same request restores everything up to routing without recomputing
+// placement. The counters are the CI stage-cache job's oracle.
+func TestStageCacheMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, DataDir: t.TempDir()})
+	if _, jr := postJSON(t, ts, "/v1/runs?wait=1", runBody); jr.Status != "done" {
+		t.Fatalf("cold run failed: %s", jr.Error)
+	}
+	text := metricsText(t, ts)
+	misses := stageCounters(text, "vpgad_stage_cache_misses_total")
+	for _, stage := range []string{"map", "compact", "place", "pack", "route"} {
+		if misses[stage] != 1 {
+			t.Fatalf("cold run: %s misses = %g, want 1 (metrics:\n%s)", stage, misses[stage], text)
+		}
+	}
+
+	// A clock retarget is a different request (no report-cache hit) that
+	// shares the chain through placement.
+	retarget := strings.Replace(runBody, `"seed":7`, `"seed":7,"clock_period":9000`, 1)
+	if retarget == runBody {
+		t.Fatal("retarget body mutation did not apply")
+	}
+	if _, jr := postJSON(t, ts, "/v1/runs?wait=1", retarget); jr.Status != "done" {
+		t.Fatalf("retarget run failed: %s", jr.Error)
+	}
+	text = metricsText(t, ts)
+	hits := stageCounters(text, "vpgad_stage_cache_hits_total")
+	misses = stageCounters(text, "vpgad_stage_cache_misses_total")
+	for _, stage := range []string{"map", "compact", "place"} {
+		if hits[stage] != 1 {
+			t.Fatalf("retarget: %s hits = %g, want 1 (metrics:\n%s)", stage, hits[stage], text)
+		}
+	}
+	if misses["place"] != 1 {
+		t.Fatalf("retarget recomputed placement: place misses = %g, want 1", misses["place"])
+	}
+	if misses["route"] != 2 || hits["route"] != 0 {
+		t.Fatalf("route counters hits=%g misses=%g, want 0/2", hits["route"], misses["route"])
+	}
+
+	// /healthz renders the same counters.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var health struct {
+		StageCache map[string]struct {
+			Hits   float64 `json:"hits"`
+			Misses float64 `json:"misses"`
+		} `json:"stage_cache"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	for stage, want := range hits {
+		if got := health.StageCache[stage].Hits; got != want {
+			t.Fatalf("healthz stage_cache[%s].hits = %g, metrics say %g", stage, got, want)
+		}
+	}
+	for stage, want := range misses {
+		if got := health.StageCache[stage].Misses; got != want {
+			t.Fatalf("healthz stage_cache[%s].misses = %g, metrics say %g", stage, got, want)
+		}
+	}
+}

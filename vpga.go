@@ -42,6 +42,7 @@ import (
 	"context"
 	"io"
 
+	"vpga/internal/artifact"
 	"vpga/internal/bench"
 	"vpga/internal/cells"
 	"vpga/internal/core"
@@ -120,8 +121,62 @@ type ArchSpec = core.ArchSpec
 // RunRequest resolves and executes a FlowRequest under the flow
 // supervisor (panic isolation; the repair ladder when the request
 // injects defects). trace optionally records the run; nil is valid.
+//
+// Deprecated: use Execute, the one pipeline-backed entry point.
 func RunRequest(ctx context.Context, req FlowRequest, trace *TraceRun) (*Report, error) {
 	return core.RunRequest(ctx, req, trace)
+}
+
+// ExecOptions carries the execution-only knobs of a request run —
+// tracing, the stage-granular build cache, artifact retention. None of
+// them change the report's bytes.
+type ExecOptions = core.ExecOptions
+
+// RunResult is Execute's return value: the report, the request's
+// per-stage key chain, and (when ExecOptions.WantArtifacts is set) the
+// physical artifacts.
+type RunResult = core.RunResult
+
+// Execute is the unified pipeline entry point: it resolves a
+// FlowRequest and runs it under the flow supervisor with the given
+// execution options. Every other run form — Run, RunFull, RunRequest —
+// is a thin wrapper over the same pipeline.
+func Execute(ctx context.Context, req FlowRequest, opts ExecOptions) (*RunResult, error) {
+	return core.Run(ctx, req, opts)
+}
+
+// Stage-granular build cache.
+
+// StageKey is one link of a request's per-stage key chain: a pipeline
+// stage name and the content address its boundary artifact lives
+// under. Compare two requests' chains (FlowRequest.StageKeys) to
+// predict how deep a cached prefix one can restore from the other.
+type StageKey = core.StageKey
+
+// StageUse records how one executed stage was satisfied: restored from
+// the stage cache or computed (Report.StageCache).
+type StageUse = core.StageUse
+
+// StageCache is the stage-granular build cache: per-stage artifacts in
+// a content-addressed store plus hit/miss counters. Attach one to
+// Config.Stages or ExecOptions.Stages; a nil cache is valid and
+// records nothing. Reports are bit-identical with or without it.
+type StageCache = core.StageCache
+
+// StageCacheStats maps stage name to cache counters.
+type StageCacheStats = core.StageCacheStats
+
+// StageCounts is one stage's hit/miss counters.
+type StageCounts = core.StageCounts
+
+// OpenStageCache opens (creating if absent) a stage-granular build
+// cache rooted at dir.
+func OpenStageCache(dir string) (*StageCache, error) {
+	store, err := artifact.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewStageCache(store), nil
 }
 
 // Compile parses and elaborates RTL source (the dialect documented in
