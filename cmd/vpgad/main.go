@@ -9,9 +9,11 @@
 //	POST /v1/matrix             the Table 1/2 benchmark matrix
 //	POST /v1/sweeps/granularity the PLB-granularity sweep
 //	POST /v1/sweeps/routing     the routing-capacity sweep
-//	GET  /v1/runs/{id}          job status / result
+//	GET  /v1/runs/{id}          job status / result (alias: /v1/jobs/{id})
 //	GET  /v1/runs/{id}/trace    Chrome trace-event JSON of the job
 //	GET  /v1/runs/{id}/events   live SSE stream of the job's telemetry
+//	GET  /v1/jobs/{id}/trace    on a coordinator: the merged cluster-wide trace
+//	GET  /v1/cluster/status     on a coordinator: live per-node scheduling stats
 //	GET  /healthz               liveness + queue stats
 //	GET  /metrics               Prometheus text metrics + latency histograms
 //
@@ -37,6 +39,12 @@
 // as the VPGA_FAULTS environment variable; the flag wins), e.g.
 // "seed=7,rate=0.02,kinds=errwrite+torn,points=journal.append".
 //
+// -log-level and -log-format control structured logging (log/slog on
+// stderr): every job lifecycle line carries job_id, kind, trace_id and
+// — on workers given -node — the node, so one grep over the fleet's
+// logs by trace ID reconstructs a distributed job. -debug-addr serves
+// net/http/pprof on a separate opt-in listener for live profiling.
+//
 // POST endpoints accept ?wait=1 to block until the job finishes;
 // without it they return 202 with a job id to poll. A full queue
 // answers 429 with Retry-After. SIGINT/SIGTERM drain gracefully:
@@ -58,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -66,6 +75,7 @@ import (
 	"time"
 
 	"vpga/internal/faultinject"
+	"vpga/internal/obs"
 	"vpga/internal/server"
 )
 
@@ -83,7 +93,15 @@ func main() {
 	drain := flag.Duration("drain", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
 	dataDir := flag.String("data", "", "durable state directory (job journal + artifact store); empty = in-memory only")
 	faults := flag.String("faults", "", "fault-injection spec (overrides "+faultinject.EnvVar+"), e.g. seed=7,rate=0.02,kinds=errwrite+torn")
+	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "structured-log encoding: text or json")
+	debugAddr := flag.String("debug-addr", "", "opt-in live-profiling listener serving net/http/pprof (e.g. localhost:6060); empty = disabled")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	if *faults != "" {
 		inj, err := faultinject.ParseSpec(*faults)
@@ -103,7 +121,6 @@ func main() {
 	}
 	var (
 		s    drainable
-		err  error
 		role = "worker"
 	)
 	if *coordinator {
@@ -114,6 +131,7 @@ func main() {
 		}
 		s, err = server.NewCoordinator(server.CoordinatorOptions{
 			Workers: nodes, CacheSize: *cacheSize, JobsKeep: *jobsKeep,
+			Logger: logger,
 		})
 	} else {
 		pool := 0
@@ -125,7 +143,7 @@ func main() {
 		opts := server.Options{
 			Workers: pool, QueueDepth: *queue, CacheSize: *cacheSize,
 			JobTimeout: *jobTimeout, JobsKeep: *jobsKeep, LedgerPath: *ledger,
-			DataDir: *dataDir,
+			DataDir: *dataDir, Logger: logger, Node: *node,
 		}
 		if *node != "" && *peers != "" {
 			opts.PeerLookup = server.NewPeerLookup(*node, splitURLs(*peers))
@@ -136,6 +154,23 @@ func main() {
 		fatalf("%v", err)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
+
+	// Live profiling rides a separate opt-in listener, so pprof is never
+	// reachable through the service port a cluster exposes.
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -11,6 +11,7 @@
 //	vpgaflow -print-request [flags]                 # canonical JSON + cache key + stage keys
 //	vpgaflow -stage-cache DIR [flags]               # stage-granular build cache
 //	vpgaflow qor run|baseline|diff [flags]          # QoR regression observatory
+//	vpgaflow cluster top [-addr URL] [-watch]       # live coordinator/fleet view
 //
 // The qor subcommands drive the regression observatory: `qor run`
 // appends gate-matrix records to a JSONL ledger, `qor baseline`
@@ -57,6 +58,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "qor" {
 		qorMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cluster" {
+		clusterMain(os.Args[2:])
 		return
 	}
 	design := flag.String("design", "alu", "benchmark: alu, firewire, fpu, switch")

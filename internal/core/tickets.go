@@ -48,6 +48,14 @@ func MatrixArchNames() []string {
 // MatrixFlows are the matrix's flow columns in canonical order.
 func MatrixFlows() []string { return []string{"a", "b"} }
 
+// TicketLabel renders the request's display label — the same
+// design/arch/flow shape the daemon uses for job labels — for
+// ticket-level scheduling and tracing.
+func (r FlowRequest) TicketLabel() string {
+	n := r.Normalize()
+	return n.Design + n.Name + "/" + n.Arch.Kind + "/flow " + n.Flow
+}
+
 // MatrixPlan is the ticket view of one matrix job: the
 // result-bearing knobs of a matrix request, from which every cell's
 // canonical FlowRequest can be enumerated.
@@ -92,6 +100,23 @@ type MatrixCell struct {
 	ArchName string // Matrix.Reports arch key ("granular-plb", "lut-plb")
 	Flow     string // Matrix.Reports flow key ("flow a", "flow b")
 	Req      FlowRequest
+}
+
+// MatrixCellLabel renders a cell's ticket label — the display name a
+// coordinator stamps on the cell's scheduling span in a merged
+// cluster trace ("alu/lut-plb/flow b").
+func MatrixCellLabel(design, archName, flow string) string {
+	return design + "/" + archName + "/" + flow
+}
+
+// Label is the cell's ticket label under the given design name.
+func (c MatrixCell) Label(design string) string {
+	return MatrixCellLabel(design, c.ArchName, c.Flow)
+}
+
+// PinLabel is the ticket label of the design's clock-pinning cell.
+func (p MatrixPlan) PinLabel(design string) string {
+	return MatrixCellLabel(design, MatrixArchNames()[0], "flow a") + " (pin)"
 }
 
 // DependentTickets enumerates the design's three clock-dependent cells
@@ -140,6 +165,23 @@ func (p SweepPlan) Ticket(i int, clock float64) FlowRequest {
 		Arch: p.Archs[i], Flow: "b", Seed: p.Seed, ClockPeriod: clock,
 	}
 	return req.Normalize()
+}
+
+// TicketLabel names the sweep's i-th ticket after its design and
+// architecture, for ticket-level scheduling and tracing.
+func (p SweepPlan) TicketLabel(i int) string {
+	design := p.Design
+	if design == "" {
+		design = p.Name
+	}
+	arch := p.Archs[i].Name
+	if arch == "" {
+		arch = p.Archs[i].Kind
+	}
+	if arch == "" {
+		arch = "default"
+	}
+	return "sweep/" + design + "/" + arch
 }
 
 // SweepPointFrom distills one sweep sample from a cell's report, the

@@ -46,9 +46,13 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	for _, r := range runs {
 		rows[r.Worker()] = true
 	}
+	procArgs := map[string]any{"name": "vpga flow"}
+	if id := t.TraceID(); id != "" {
+		procArgs["trace_id"] = id
+	}
 	events = append(events, chromeEvent{
 		Name: "process_name", Ph: "M", Pid: 1,
-		Args: map[string]any{"name": "vpga flow"},
+		Args: procArgs,
 	})
 	for row := range rows {
 		events = append(events, chromeEvent{

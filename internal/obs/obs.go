@@ -353,6 +353,7 @@ type Tracer struct {
 	epoch time.Time
 
 	mu       sync.Mutex
+	traceID  string
 	runs     []*Run
 	freeRows []int // released rows, reused smallest-first
 	rows     int   // rows ever created
@@ -370,6 +371,30 @@ func NewTracer() *Tracer {
 
 func (t *Tracer) since() time.Duration {
 	return time.Since(t.epoch)
+}
+
+// SetTraceID stamps the tracer with the distributed trace it belongs
+// to (the coordinator-minted ID carried in the X-Vpga-Trace header).
+// The ID is correlation metadata only: it rides on the Chrome trace's
+// process metadata so merged cluster timelines can assert every
+// fragment came from one trace, and it never touches spans or events.
+func (t *Tracer) SetTraceID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the distributed trace ID, "" when unset.
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
 }
 
 // NewRun opens a run on the smallest free worker row. A nil tracer

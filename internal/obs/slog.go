@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging for the daemon, zero-dependency on log/slog. The
+// daemon's log lines carry the correlation attributes the cluster
+// tracing layer propagates — job_id, ticket_id, trace_id, tenant,
+// node — so a grep for one trace ID follows a job across the
+// coordinator and every worker it touched.
+
+// LogLevels and LogFormats are the accepted -log-level / -log-format
+// values, for flag usage strings.
+const (
+	LogLevels  = "debug, info, warn, error"
+	LogFormats = "text, json"
+)
+
+// ParseLogLevel maps a -log-level flag value onto a slog.Level.
+// Empty means info.
+func ParseLogLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(level) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want %s)", level, LogLevels)
+}
+
+// NewLogger builds the daemon logger: level gates verbosity (empty =
+// info), format picks the handler ("text" default, "json" for
+// machine-shipped lines). An unknown level or format is an error so a
+// typo on the command line fails loudly instead of logging nothing.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want %s)", format, LogFormats)
+}
+
+// NopLogger returns a logger that discards everything — the default
+// when no logger is configured, so instrumented code paths never
+// nil-check. (slog.DiscardHandler needs go 1.24; a discard text
+// handler with an impossible level costs the same and builds on 1.22.)
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+		Level: slog.Level(127),
+	}))
+}

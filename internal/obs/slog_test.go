@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+	}{
+		{"", slog.LevelInfo},
+		{"debug", slog.LevelDebug},
+		{"info", slog.LevelInfo},
+		{"warn", slog.LevelWarn},
+		{"warning", slog.LevelWarn},
+		{"error", slog.LevelError},
+		{"ERROR", slog.LevelError}, // case-insensitive
+	}
+	for _, c := range cases {
+		got, err := ParseLogLevel(c.in)
+		if err != nil {
+			t.Fatalf("ParseLogLevel(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseLogLevel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Fatal("ParseLogLevel accepted an unknown level")
+	}
+}
+
+// TestNewLoggerFormats: text and json encodings carry the record and
+// its attributes; the level threshold filters below it.
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("job accepted", "job_id", "j000001", "trace_id", "abc123")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug line leaked through info threshold:\n%s", out)
+	}
+	if !strings.Contains(out, "job accepted") || !strings.Contains(out, "job_id=j000001") ||
+		!strings.Contains(out, "trace_id=abc123") {
+		t.Fatalf("text line missing message or attrs:\n%s", out)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("ticket dispatched", "ticket_id", "alu/lut-plb/flow b", "node", "http://w1")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "ticket dispatched" || rec["ticket_id"] != "alu/lut-plb/flow b" || rec["node"] != "http://w1" {
+		t.Fatalf("json record missing fields: %v", rec)
+	}
+
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("NewLogger accepted an unknown format")
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("NewLogger accepted an unknown level")
+	}
+}
+
+// TestNopLogger: the nil-object logger drops every level without
+// panicking, so library code can log unconditionally.
+func TestNopLogger(t *testing.T) {
+	log := NopLogger()
+	log.Debug("a")
+	log.Info("b", "k", "v")
+	log.Warn("c")
+	log.Error("d")
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("NopLogger claims error level is enabled")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vpga/internal/core"
 	"vpga/internal/faultinject"
 )
 
@@ -38,10 +39,11 @@ type nodeClient struct {
 }
 
 // nodeHealth is the slice of a worker's /healthz the coordinator rolls
-// up into cluster metrics.
+// up into cluster metrics and GET /v1/cluster/status.
 type nodeHealth struct {
-	QueueDepth  int   `json:"queue_depth"`
-	JobsRunning int64 `json:"jobs_running"`
+	QueueDepth  int                  `json:"queue_depth"`
+	JobsRunning int64                `json:"jobs_running"`
+	StageCache  core.StageCacheStats `json:"stage_cache"`
 }
 
 func newNodeClient(base string) *nodeClient {
@@ -74,12 +76,18 @@ type rawEnvelope struct {
 // only — an HTTP error status comes back as (envelope, status, nil)
 // for the caller to classify (429 backs off, 503 marks the node
 // draining, 4xx is the request's own fault).
-func (n *nodeClient) post(ctx context.Context, path string, body []byte) (*rawEnvelope, int, error) {
+// The trace argument, when non-empty, rides on the X-Vpga-Trace
+// header so the worker threads the coordinator's trace context into
+// its own tracer.
+func (n *nodeClient) post(ctx context.Context, path string, body []byte, trace string) (*rawEnvelope, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(TraceHeader, trace)
+	}
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		return nil, 0, err
@@ -119,6 +127,31 @@ func (n *nodeClient) cacheGet(ctx context.Context, key string) ([]byte, bool) {
 		return nil, false
 	}
 	return raw, true
+}
+
+// traceFragment fetches a worker job's Chrome trace-event fragment
+// (GET /v1/runs/{id}/trace) for the merged cluster timeline. Every
+// failure — transport, non-200, malformed JSON — yields (nil, false):
+// a fragment is decoration on the coordinator-side ticket span, never
+// load-bearing.
+func (n *nodeClient) traceFragment(ctx context.Context, jobID string) ([]traceEvent, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+"/v1/runs/"+url.PathEscape(jobID)+"/trace", nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var frag []traceEvent
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&frag); err != nil {
+		return nil, false
+	}
+	return frag, true
 }
 
 // healthy probes the node's /healthz and scrapes its queue snapshot;

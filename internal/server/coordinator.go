@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"vpga/internal/core"
+	"vpga/internal/obs"
 )
 
 // Coordinator is vpgad's cluster mode: the same public API as a worker
@@ -33,6 +35,7 @@ type Coordinator struct {
 	order []string // node bases in Options order, for stable rollups
 	sched *scheduler
 	cache *lru // composite (merged) results; cells live in worker caches
+	log   *slog.Logger
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -71,6 +74,10 @@ type CoordinatorOptions struct {
 	CacheSize int
 	// JobsKeep bounds retained completed-job records (0 = 64).
 	JobsKeep int
+	// Logger receives the coordinator's structured log lines (job
+	// lifecycle, node liveness, steals, reshards), with job_id /
+	// trace_id / tenant attrs. Nil logs nothing.
+	Logger *slog.Logger
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -97,11 +104,16 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		return nil, errors.New("coordinator needs at least one worker node")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	log := opts.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	c := &Coordinator{
 		opts:    opts,
 		mux:     http.NewServeMux(),
 		nodes:   make(map[string]*nodeClient, len(opts.Workers)),
 		cache:   newLRU(opts.CacheSize),
+		log:     log,
 		jobs:    make(map[string]*cjob),
 		baseCtx: ctx,
 		cancel:  cancel,
@@ -125,6 +137,10 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	c.mux.HandleFunc("POST /v1/sweeps/routing", c.handleRoutingSweep)
 	c.mux.HandleFunc("POST /v1/batch", c.handleBatch)
 	c.mux.HandleFunc("GET /v1/runs/{id}", c.handleStatus)
+	c.mux.HandleFunc("GET /v1/runs/{id}/trace", c.handleJobTrace)
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleJobTrace)
+	c.mux.HandleFunc("GET /v1/cluster/status", c.handleClusterStatus)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
 
@@ -142,9 +158,13 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	return c, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request gets an
+// X-Request-ID (echoed from the client or minted) before dispatch, so
+// error envelopes and log lines are correlatable with client retries.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.reqTotal.Add(1)
+	rid := ensureRequestID(w, r)
+	c.log.Debug("http request", "method", r.Method, "path", r.URL.Path, "request_id", rid)
 	c.mux.ServeHTTP(w, r)
 }
 
@@ -178,6 +198,7 @@ type ticket struct {
 	priority int
 	tenant   string
 	kind     string
+	name     string // display label on the merged trace ("alu/lut-plb/flow b")
 	path     string // worker endpoint ("/v1/runs", "/v1/sweeps/routing")
 	key      string // content address; routes the ticket on the ring
 	body     []byte
@@ -185,8 +206,26 @@ type ticket struct {
 	attempts int
 	backoff  time.Duration // cumulative backpressure wait
 
+	// Distributed-trace context: the owning job's trace ID rides the
+	// X-Vpga-Trace header to the worker, and the jobTrace records the
+	// ticket's dispatch window, steals and reshards. Both may be empty/
+	// nil (trace-free tickets cost nothing).
+	traceID string
+	trace   *jobTrace
+	stolen  bool
+
 	once sync.Once
 	res  chan ticketOutcome
+}
+
+// traceHeaderValue renders the X-Vpga-Trace header for this ticket's
+// worker dispatch: the job's trace ID with the ticket name as the
+// parent span ("" when the job is untraced).
+func (t *ticket) traceHeaderValue() string {
+	if t.traceID == "" {
+		return ""
+	}
+	return t.traceID + ":" + t.name
 }
 
 type ticketOutcome struct {
@@ -365,6 +404,14 @@ func (sc *scheduler) depth(node string) int {
 	return len(sc.queues[node])
 }
 
+// inflight is the number of tickets the node's runners are executing
+// right now.
+func (sc *scheduler) inflight(node string) int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.active[node]
+}
+
 // runner is one ticket-execution lane against one worker node.
 func (c *Coordinator) runner(n *nodeClient) {
 	defer c.wg.Done()
@@ -375,6 +422,9 @@ func (c *Coordinator) runner(n *nodeClient) {
 		}
 		if stolen {
 			c.steals.Add(1)
+			t.stolen = true
+			t.trace.instant("steal", map[string]any{"ticket": t.name, "to": n.base, "from": t.home})
+			c.log.Debug("ticket stolen", "ticket_id", t.name, "from", t.home, "to", n.base, "trace_id", t.traceID)
 		}
 		c.execute(n, t)
 		c.sched.release(n.base)
@@ -412,13 +462,25 @@ const (
 // every ticket is a pure, deterministic function of its body.
 func (c *Coordinator) execute(n *nodeClient, t *ticket) {
 	n.dispatched.Add(1)
-	env, status, err := n.post(c.baseCtx, t.path+"?wait=1", t.body)
+	dispatchAt := t.trace.since()
+	// record stamps the attempt's window onto the job trace (no-op on
+	// untraced tickets): which node ran it, the worker job ID holding
+	// its trace fragment, and how the attempt ended.
+	record := func(workerJob string, cached bool, errMsg string) {
+		t.trace.ticket(ticketRecord{
+			name: t.name, node: n.base, workerJob: workerJob,
+			start: dispatchAt, end: t.trace.since(),
+			cached: cached, stolen: t.stolen, attempts: t.attempts, err: errMsg,
+		})
+	}
+	env, status, err := n.post(c.baseCtx, t.path+"?wait=1", t.body, t.traceHeaderValue())
 	if err != nil {
 		n.errs.Add(1)
 		if c.baseCtx.Err() != nil {
 			t.deliver(ticketOutcome{err: err})
 			return
 		}
+		record("", false, err.Error())
 		c.markDown(n)
 		c.resubmit(t, err)
 		return
@@ -452,12 +514,15 @@ func (c *Coordinator) execute(n *nodeClient, t *ticket) {
 			}
 		})
 	case http.StatusServiceUnavailable:
+		record("", false, "node draining")
 		c.markDown(n)
 		c.resubmit(t, errors.New("node draining"))
 	case http.StatusOK, http.StatusAccepted:
+		workerJob := env.ID
 		env = c.awaitTerminal(n, t, env)
 		if env == nil {
-			return // resubmitted
+			record(workerJob, false, "attempt ended before a terminal status")
+			return // resubmitted (or delivered a poll failure)
 		}
 		if env.ErrorKind == "timeout" {
 			// Satellite of isTimeout: a timeout on a remote worker still
@@ -467,12 +532,14 @@ func (c *Coordinator) execute(n *nodeClient, t *ticket) {
 		if env.Cached {
 			c.workerCacheHits.Add(1)
 		}
+		record(env.ID, env.Cached, env.Error)
 		t.deliver(ticketOutcome{env: env})
 	default:
 		msg := env.Error
 		if msg == "" {
 			msg = fmt.Sprintf("worker answered HTTP %d", status)
 		}
+		record(env.ID, false, msg)
 		t.deliver(ticketOutcome{env: env, err: errors.New(msg)})
 	}
 }
@@ -525,6 +592,9 @@ func (c *Coordinator) resubmit(t *ticket, cause error) {
 		return
 	}
 	c.reshards.Add(1)
+	t.trace.instant("reshard", map[string]any{"ticket": t.name, "to": home, "attempts": t.attempts})
+	c.log.Info("ticket resharded", "ticket_id", t.name, "to", home, "attempts", t.attempts,
+		"trace_id", t.traceID, "cause", cause.Error())
 	t.home = home
 	if !c.sched.enqueue(t) {
 		t.deliver(ticketOutcome{err: errors.New("coordinator shutting down")})
@@ -548,8 +618,15 @@ func (c *Coordinator) markDown(n *nodeClient) {
 		return
 	}
 	c.ring.setLive(n.base, false)
-	moved := c.sched.requeue(n.base, func(t *ticket) string { return c.ring.owner(t.routeKey()) })
+	moved := c.sched.requeue(n.base, func(t *ticket) string {
+		home := c.ring.owner(t.routeKey())
+		if home != "" {
+			t.trace.instant("reshard", map[string]any{"ticket": t.name, "from": n.base, "to": home})
+		}
+		return home
+	})
 	c.reshards.Add(int64(moved))
+	c.log.Warn("node down", "node", n.base, "resharded_tickets", moved)
 }
 
 func (c *Coordinator) markUp(n *nodeClient) {
@@ -558,6 +635,7 @@ func (c *Coordinator) markUp(n *nodeClient) {
 	}
 	c.ring.setLive(n.base, true)
 	c.sched.cond.Broadcast() // wake the node's parked runners
+	c.log.Info("node up", "node", n.base)
 }
 
 // healthLoop probes every node and flips ring membership as nodes die
@@ -588,8 +666,11 @@ func (c *Coordinator) healthLoop() {
 
 // runTicket is the blocking ticket helper composite jobs use: peer
 // cache lookup on the key's owner first — a result the cluster already
-// computed is fetched, not recomputed — then enqueue and wait.
-func (c *Coordinator) runTicket(kind, path string, body any, key string, priority int, tenant string) (*rawEnvelope, error) {
+// computed is fetched, not recomputed — then enqueue and wait. The
+// owning job supplies the scheduling coordinates (priority, tenant)
+// and the trace context; name labels the ticket on the merged
+// timeline.
+func (c *Coordinator) runTicket(j *cjob, name, kind, path string, body any, key string) (*rawEnvelope, error) {
 	enc, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
@@ -598,11 +679,15 @@ func (c *Coordinator) runTicket(kind, path string, body any, key string, priorit
 	if key != "" {
 		if owner := c.ring.owner(key); owner != "" {
 			if n := c.nodes[owner]; n != nil && !n.down.Load() {
+				start := j.trace.since()
 				ctx, cancel := context.WithTimeout(c.baseCtx, 5*time.Second)
 				raw, ok := n.cacheGet(ctx, key)
 				cancel()
 				if ok {
 					c.peerHits.Add(1)
+					j.trace.ticket(ticketRecord{
+						name: name, node: owner, start: start, end: j.trace.since(), cached: true,
+					})
 					return &rawEnvelope{Kind: kind, Status: "done", Cached: true, Key: key, Result: raw}, nil
 				}
 			}
@@ -610,8 +695,9 @@ func (c *Coordinator) runTicket(kind, path string, body any, key string, priorit
 		c.peerMisses.Add(1)
 	}
 	t := &ticket{
-		priority: priority, tenant: tenant, kind: kind, path: path,
-		key: key, body: enc, res: make(chan ticketOutcome, 1),
+		priority: j.priority, tenant: j.tenant, kind: kind, name: name, path: path,
+		key: key, body: enc, traceID: j.traceID, trace: j.trace,
+		res: make(chan ticketOutcome, 1),
 	}
 	t.home = c.ring.owner(t.routeKey())
 	if t.home == "" {
@@ -642,6 +728,12 @@ type cjob struct {
 	created  time.Time
 	done     chan struct{}
 
+	// Distributed trace: the coordinator-minted trace ID every ticket
+	// of this job carries, and the recorder behind GET
+	// /v1/jobs/{id}/trace.
+	traceID string
+	trace   *jobTrace
+
 	mu      sync.Mutex
 	status  string
 	cached  bool
@@ -657,6 +749,7 @@ func (j *cjob) response() jobResponse {
 	return jobResponse{
 		ID: j.id, Kind: j.kind, Status: j.status, Cached: j.cached, Key: j.key,
 		Result: j.result, Error: j.errMsg, Stage: j.stage, ErrorKind: j.errKind,
+		TraceID: j.traceID,
 	}
 }
 
@@ -679,28 +772,40 @@ func (j *cjob) fail(msg, stage, errKind string) {
 	close(j.done)
 }
 
-// startJob registers a cjob and runs its composite on a goroutine.
+// startJob registers a cjob — minting its distributed trace ID and
+// recorder — and runs its composite on a goroutine.
 func (c *Coordinator) startJob(kind, key string, priority int, tenant string, run func(j *cjob)) *cjob {
+	traceID := newTraceID()
 	j := &cjob{
 		id: fmt.Sprintf("c%06d", c.nextID.Add(1)), kind: kind, key: key,
 		priority: priority, tenant: tenant, created: time.Now(),
+		traceID: traceID, trace: newJobTrace(traceID),
 		done: make(chan struct{}), status: "queued",
 	}
 	c.mu.Lock()
 	c.jobs[j.id] = j
 	c.mu.Unlock()
+	c.log.Info("job accepted", "job_id", j.id, "kind", kind, "trace_id", traceID,
+		"tenant", tenant, "priority", priority)
 	go func() {
 		j.mu.Lock()
 		j.status = "running"
 		j.mu.Unlock()
+		endJob := j.trace.span("job "+kind, map[string]any{"job_id": j.id})
 		run(j)
+		endJob()
 		j.mu.Lock()
 		failed := j.status == "failed"
+		errMsg := j.errMsg
 		j.mu.Unlock()
 		if failed {
 			c.failed.Add(1)
+			c.log.Warn("job failed", "job_id", j.id, "kind", kind, "trace_id", traceID,
+				"error", errMsg, "duration", time.Since(j.created))
 		} else {
 			c.completed.Add(1)
+			c.log.Info("job done", "job_id", j.id, "kind", kind, "trace_id", traceID,
+				"duration", time.Since(j.created))
 		}
 		c.retireJob(j)
 	}()
@@ -769,7 +874,7 @@ func (c *Coordinator) submitRun(w http.ResponseWriter, r *http.Request, req core
 		return nil
 	}
 	j := c.startJob("run", key, priority, tenant, func(j *cjob) {
-		env, err := c.runTicket("run", "/v1/runs", req, key, j.priority, j.tenant)
+		env, err := c.runTicket(j, req.TicketLabel(), "run", "/v1/runs", req, key)
 		j.finishFromEnvelope(env, err)
 	})
 	if w != nil {
@@ -882,7 +987,8 @@ func (c *Coordinator) runMatrixJob(j *cjob, req MatrixRequest) {
 		go func(di int) {
 			defer wg.Done()
 			d := designs[di]
-			pin, msg := cellReport(c.runTicket("run", "/v1/runs", plan.PinTicket(designReqs[di]), mustKey(plan.PinTicket(designReqs[di])), j.priority, j.tenant))
+			pinReq := plan.PinTicket(designReqs[di])
+			pin, msg := cellReport(c.runTicket(j, plan.PinLabel(d.Name), "run", "/v1/runs", pinReq, mustKey(pinReq)))
 			if pin == nil {
 				fail(d.Name, archNames[0], "flow a", msg)
 				// The three dependents never run: ledger them exactly like
@@ -905,7 +1011,7 @@ func (c *Coordinator) runMatrixJob(j *cjob, req MatrixRequest) {
 				iwg.Add(1)
 				go func(cell core.MatrixCell) {
 					defer iwg.Done()
-					rep, msg := cellReport(c.runTicket("run", "/v1/runs", cell.Req, mustKey(cell.Req), j.priority, j.tenant))
+					rep, msg := cellReport(c.runTicket(j, cell.Label(d.Name), "run", "/v1/runs", cell.Req, mustKey(cell.Req)))
 					if rep == nil {
 						fail(d.Name, cell.ArchName, cell.Flow, msg)
 						return
@@ -920,6 +1026,8 @@ func (c *Coordinator) runMatrixJob(j *cjob, req MatrixRequest) {
 	}
 	wg.Wait()
 
+	endMerge := j.trace.span("merge", map[string]any{"cells": len(designs) * 4})
+	defer endMerge()
 	sort.Slice(failures, func(i, k int) bool {
 		a, b := failures[i], failures[k]
 		if a.design != b.design {
@@ -1021,7 +1129,7 @@ func (c *Coordinator) submitGranularitySweep(w http.ResponseWriter, r *http.Requ
 func (c *Coordinator) runSweepJob(j *cjob, plan core.SweepPlan) {
 	ticketReport := func(i int, clock float64) (*core.Report, error) {
 		req := plan.Ticket(i, clock)
-		env, err := c.runTicket("run", "/v1/runs", req, mustKey(req), j.priority, j.tenant)
+		env, err := c.runTicket(j, plan.TicketLabel(i), "run", "/v1/runs", req, mustKey(req))
 		if err != nil {
 			return nil, err
 		}
@@ -1104,7 +1212,8 @@ func (c *Coordinator) submitRoutingSweep(w http.ResponseWriter, r *http.Request,
 		return nil
 	}
 	j := c.startJob("sweep/routing", key, priority, tenant, func(j *cjob) {
-		env, err := c.runTicket("sweep/routing", "/v1/sweeps/routing", req, key, j.priority, j.tenant)
+		name := "sweep/routing/" + req.normalize().Design + req.normalize().Name
+		env, err := c.runTicket(j, name, "sweep/routing", "/v1/sweeps/routing", req, key)
 		j.finishFromEnvelope(env, err)
 	})
 	if w != nil {
@@ -1209,7 +1318,8 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
-// handleStatus serves GET /v1/runs/{id} for coordinator jobs.
+// handleStatus serves GET /v1/runs/{id} (and its /v1/jobs/{id} alias)
+// for coordinator jobs.
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	j, ok := c.jobs[r.PathValue("id")]
@@ -1221,6 +1331,23 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.response())
 }
 
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the job's merged
+// cluster-wide Chrome trace — coordinator control spans plus every
+// worker node's tickets with their per-stage fragments fetched back
+// from the workers that still answer.
+func (c *Coordinator) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	c.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown or evicted job id"))
+		return
+	}
+	events := c.mergedTrace(r.Context(), j)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(events)
+}
+
 // ---------------------------------------------------------------------------
 // Cluster rollup observability.
 
@@ -1229,10 +1356,39 @@ type clusterNodeStat struct {
 	Node             string `json:"node"`
 	Up               bool   `json:"up"`
 	TicketQueueDepth int    `json:"ticket_queue_depth"`
+	InFlightTickets  int    `json:"in_flight_tickets"`
 	WorkerQueueDepth int    `json:"worker_queue_depth"`
 	WorkerJobs       int64  `json:"worker_jobs_running"`
 	Dispatched       int64  `json:"dispatched"`
 	Errors           int64  `json:"errors"`
+	// StageCache is the worker's per-stage build-cache counters with
+	// derived hit ratios, scraped from its /healthz (nil until the
+	// first health probe lands or when the worker has no stage cache).
+	StageCache map[string]stageCacheRatio `json:"stage_cache,omitempty"`
+}
+
+// stageCacheRatio is one stage's scraped cache counters plus the
+// derived hit ratio.
+type stageCacheRatio struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// stageRatios derives per-stage hit ratios from scraped counters.
+func stageRatios(stats core.StageCacheStats) map[string]stageCacheRatio {
+	if len(stats) == 0 {
+		return nil
+	}
+	out := make(map[string]stageCacheRatio, len(stats))
+	for stage, sc := range stats {
+		r := stageCacheRatio{Hits: sc.Hits, Misses: sc.Misses}
+		if total := sc.Hits + sc.Misses; total > 0 {
+			r.HitRatio = float64(sc.Hits) / float64(total)
+		}
+		out[stage] = r
+	}
+	return out
 }
 
 func (c *Coordinator) nodeStats() []clusterNodeStat {
@@ -1243,8 +1399,10 @@ func (c *Coordinator) nodeStats() []clusterNodeStat {
 		stats = append(stats, clusterNodeStat{
 			Node: base, Up: !n.down.Load(),
 			TicketQueueDepth: c.sched.depth(base),
+			InFlightTickets:  c.sched.inflight(base),
 			WorkerQueueDepth: h.QueueDepth, WorkerJobs: h.JobsRunning,
 			Dispatched: n.dispatched.Load(), Errors: n.errs.Load(),
+			StageCache: stageRatios(h.StageCache),
 		})
 	}
 	return stats
@@ -1288,6 +1446,42 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"peer_misses":       c.peerMisses.Load(),
 			"worker_cache_hits": c.workerCacheHits.Load(),
 			"peer_hit_ratio":    c.peerHitRatio(),
+		},
+	})
+}
+
+// handleClusterStatus serves GET /v1/cluster/status: the live
+// scheduling picture `vpgaflow cluster top` renders — per-node queue
+// depth, in-flight tickets, steal/reshard counters, and stage-cache
+// hit ratios — as one JSON snapshot.
+func (c *Coordinator) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	nodes := c.nodeStats()
+	up := 0
+	for _, n := range nodes {
+		if n.Up {
+			up++
+		}
+	}
+	c.mu.Lock()
+	jobsTracked := len(c.jobs)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":           "coordinator",
+		"uptime_seconds": time.Since(c.start).Seconds(),
+		"nodes":          nodes,
+		"nodes_up":       up,
+		"jobs_tracked":   jobsTracked,
+		"cluster": map[string]any{
+			"tickets":           c.tickets.Load(),
+			"ticket_retries":    c.ticketRetries.Load(),
+			"steals":            c.steals.Load(),
+			"reshards":          c.reshards.Load(),
+			"peer_hits":         c.peerHits.Load(),
+			"peer_misses":       c.peerMisses.Load(),
+			"worker_cache_hits": c.workerCacheHits.Load(),
+			"peer_hit_ratio":    c.peerHitRatio(),
+			"jobs_completed":    c.completed.Load(),
+			"jobs_failed":       c.failed.Load(),
 		},
 	})
 }
@@ -1346,6 +1540,10 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP vpgad_cluster_node_queue_depth tickets queued for the node on the coordinator\n# TYPE vpgad_cluster_node_queue_depth gauge\n")
 	for _, n := range nodes {
 		fmt.Fprintf(w, "vpgad_cluster_node_queue_depth{node=%q} %d\n", n.Node, n.TicketQueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP vpgad_cluster_node_inflight tickets currently executing on the node\n# TYPE vpgad_cluster_node_inflight gauge\n")
+	for _, n := range nodes {
+		fmt.Fprintf(w, "vpgad_cluster_node_inflight{node=%q} %d\n", n.Node, n.InFlightTickets)
 	}
 	fmt.Fprintf(w, "# HELP vpgad_uptime_seconds seconds since the coordinator started\n# TYPE vpgad_uptime_seconds gauge\nvpgad_uptime_seconds %s\n",
 		strconv.FormatFloat(time.Since(c.start).Seconds(), 'f', 3, 64))

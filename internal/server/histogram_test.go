@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucket-assignment rule at its
+// edges: zero lands in the first bucket, a value exactly on a bound
+// lands in that bound's bucket (le is inclusive), a value past the
+// last bound lands only in +Inf, and negative/NaN observations are
+// dropped entirely.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cum := func(h *histogram) []int64 {
+		c, _, _ := h.snapshot()
+		return c
+	}
+
+	var h histogram
+	h.observe(0)
+	if c := cum(&h); c[0] != 1 {
+		t.Fatalf("zero observation missed the first bucket: %v", c[:3])
+	}
+
+	h = histogram{}
+	h.observe(histBounds[0]) // exactly 0.001: le="0.001" is inclusive
+	if c := cum(&h); c[0] != 1 {
+		t.Fatalf("observation on the first bound missed its bucket: %v", c[:3])
+	}
+
+	h = histogram{}
+	h.observe(histBounds[0] + 1e-9) // just past the bound: next bucket
+	if c := cum(&h); c[0] != 0 || c[1] != 1 {
+		t.Fatalf("observation just past the first bound landed wrong: %v", c[:3])
+	}
+
+	h = histogram{}
+	h.observe(histBounds[len(histBounds)-1]) // exactly the last bound
+	if c := cum(&h); c[len(histBounds)-1] != 1 {
+		t.Fatalf("observation on the last bound missed its bucket: %v", c)
+	}
+
+	h = histogram{}
+	h.observe(1e9) // way past every bound: +Inf only
+	c, count, sum := h.snapshot()
+	for i := range histBounds {
+		if c[i] != 0 {
+			t.Fatalf("overflow observation leaked into finite bucket %d: %v", i, c)
+		}
+	}
+	if c[len(histBounds)] != 1 || count != 1 || sum != 1e9 {
+		t.Fatalf("overflow observation not in +Inf: cum=%v count=%d sum=%g", c, count, sum)
+	}
+
+	h = histogram{}
+	h.observe(-1)
+	h.observe(math.NaN())
+	if _, count, sum := h.snapshot(); count != 0 || sum != 0 {
+		t.Fatalf("negative/NaN observations were recorded: count=%d sum=%g", count, sum)
+	}
+}
+
+// TestHistogramCumulativeAndQuantile: bucket counts are cumulative in
+// le order and the quantile estimator answers with a bucket bound.
+func TestHistogramCumulativeAndQuantile(t *testing.T) {
+	var h histogram
+	for _, v := range []float64{0.0005, 0.003, 0.003, 0.1, 2.0} {
+		h.observe(v)
+	}
+	cum, count, _ := h.snapshot()
+	if count != 5 || cum[len(histBounds)] != 5 {
+		t.Fatalf("count=%d, +Inf cum=%d, want 5", count, cum[len(histBounds)])
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket counts not cumulative at %d: %v", i, cum)
+		}
+	}
+	// Median of the five: the third observation (0.003) lives in the
+	// le=0.004 bucket, so the estimate is that bucket's bound.
+	if q := h.quantile(0.5); q != 0.004 {
+		t.Fatalf("median estimate = %g, want 0.004", q)
+	}
+	if q := (&histogram{}).quantile(0.5); q != 0 {
+		t.Fatalf("empty-histogram quantile = %g, want 0", q)
+	}
+}
+
+// promLine matches one Prometheus text-format sample:
+// name{labels} value — the label block optional, the value a float.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
+
+// validatePromText is a minimal Prometheus text-exposition checker:
+// every non-comment line parses as a sample, every sample's metric
+// family has TYPE metadata, histogram buckets are cumulative with the
+// +Inf bucket equal to _count. It returns the parsed samples.
+func validatePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	typed := map[string]string{}
+	samples := map[string]float64{}
+	var (
+		histFamily  string
+		lastCum     float64
+		seenBuckets bool
+	)
+	endHist := func() {
+		histFamily, lastCum, seenBuckets = "", 0, false
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line is not a valid Prometheus sample: %q", line)
+		}
+		name, labels := m[1], m[2]
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample value in %q: %v", line, err)
+		}
+		samples[name+labels] = v
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if typed[name] == "" && strings.HasSuffix(name, suffix) {
+				family = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if typed[family] == "" {
+			t.Fatalf("sample %q has no # TYPE metadata", name)
+		}
+		if typed[family] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			// A new family or a new label set (le aside) restarts the
+			// cumulative check.
+			series := family + stripLe(labels)
+			if series != histFamily {
+				endHist()
+				histFamily = series
+			}
+			if seenBuckets && v < lastCum {
+				t.Fatalf("histogram %s buckets not cumulative: %g after %g (%q)", family, v, lastCum, line)
+			}
+			lastCum, seenBuckets = v, true
+			if strings.Contains(labels, `le="+Inf"`) {
+				infCum := v
+				endHist()
+				// The +Inf bucket must equal the family's _count for the
+				// same label set once it appears; record for the check below.
+				samples["__inf__"+family+stripLe(labels)] = infCum
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning exposition: %v", err)
+	}
+	for key, inf := range samples {
+		if !strings.HasPrefix(key, "__inf__") {
+			continue
+		}
+		series := strings.TrimPrefix(key, "__inf__")
+		fam := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			fam, labels = series[:i], series[i:]
+		}
+		if count, ok := samples[fam+"_count"+labels]; ok && count != inf {
+			t.Fatalf("histogram %s: +Inf bucket %g != _count %g", series, inf, count)
+		}
+	}
+	return samples
+}
+
+// stripLe removes the le label from a rendered label block so bucket
+// lines of one series share a key.
+var leRe = regexp.MustCompile(`le="[^"]*",?`)
+
+func stripLe(labels string) string {
+	s := leRe.ReplaceAllString(labels, "")
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	s = strings.Trim(s, ",")
+	if s == "" {
+		return ""
+	}
+	return "{" + s + "}"
+}
+
+func fetchText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestMetricsExpositionValid runs a real job through a worker and
+// validates the whole /metrics payload as Prometheus text exposition —
+// histograms included.
+func TestMetricsExpositionValid(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	if _, jr := postJSON(t, ts, "/v1/runs?wait=1", `{"design":"alu","seed":3,"place_effort":2}`); jr.Status != "done" {
+		t.Fatalf("run did not finish: %+v", jr)
+	}
+	samples := validatePromText(t, fetchText(t, ts.URL+"/metrics"))
+	if samples["vpgad_jobs_completed_total"] < 1 {
+		t.Fatalf("no completed jobs in exposition: %v", samples["vpgad_jobs_completed_total"])
+	}
+	if samples[`vpgad_job_duration_seconds_bucket{le="+Inf"}`] < 1 {
+		t.Fatal("job duration histogram recorded nothing")
+	}
+}
+
+// TestCoordinatorMetricsExpositionValid does the same for the
+// coordinator's /metrics rollup.
+func TestCoordinatorMetricsExpositionValid(t *testing.T) {
+	workers := newWorkerFleet(t, 2)
+	_, ts := newTestCoordinator(t, CoordinatorOptions{Workers: workers})
+	if _, jr := postJSON(t, ts, "/v1/runs?wait=1", `{"design":"alu","seed":3,"place_effort":2}`); jr.Status != "done" {
+		t.Fatalf("run did not finish: %+v", jr)
+	}
+	samples := validatePromText(t, fetchText(t, ts.URL+"/metrics"))
+	if samples["vpgad_cluster_tickets_total"] < 1 {
+		t.Fatal("coordinator exposition shows no tickets resolved")
+	}
+	if samples["vpgad_cluster_nodes"] != 2 {
+		t.Fatalf("vpgad_cluster_nodes = %v, want 2", samples["vpgad_cluster_nodes"])
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"path/filepath"
@@ -83,6 +84,13 @@ type Options struct {
 	// this node computed, so a peer result is never double-stored — and
 	// a payload that fails to decode degrades to local compute.
 	PeerLookup func(ctx context.Context, kind, key string) ([]byte, bool)
+	// Logger receives structured request/job lifecycle records (nil =
+	// discard). Jobs log with job_id/kind/trace_id attributes so a
+	// cluster-wide grep on one trace ID finds every node's part of it.
+	Logger *slog.Logger
+	// Node names this worker in log lines ("" = standalone) — typically
+	// its advertised base URL in a cluster.
+	Node string
 
 	// testJobStart, when set by a test, runs at the top of every job on
 	// its worker goroutine — tests block here to hold jobs "running"
@@ -102,6 +110,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JobsKeep <= 0 {
 		o.JobsKeep = 64
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -130,6 +141,10 @@ type job struct {
 	// which content addresses the job's artifacts live under, so
 	// clients can see which prefix the run will reuse.
 	stageKeys []core.StageKey
+	// traceID is the distributed trace this job belongs to, taken from
+	// the X-Vpga-Trace header a coordinator stamped on the submission
+	// ("" = untraced local job).
+	traceID string
 	// replayed marks a job rebuilt from the journal after a restart.
 	replayed bool
 
@@ -175,7 +190,7 @@ func (j *job) response() jobResponse {
 	return jobResponse{
 		ID: j.id, Kind: j.kind, Status: j.status, Key: j.key,
 		Result: j.result, Error: j.errMsg, Stage: j.stage, ErrorKind: j.errKind,
-		StageKeys: j.stageKeys,
+		StageKeys: j.stageKeys, TraceID: j.traceID,
 	}
 }
 
@@ -200,6 +215,13 @@ type jobResponse struct {
 	// content addresses of the stage-granular build-cache artifacts the
 	// run reads and writes, in pipeline order.
 	StageKeys []core.StageKey `json:"stage_keys,omitempty"`
+	// TraceID is the distributed trace the job belongs to — minted by
+	// the coordinator per client job, or echoed from the X-Vpga-Trace
+	// header a submission carried ("" = untraced).
+	TraceID string `json:"trace_id,omitempty"`
+	// RequestID echoes the request's X-Request-ID on error envelopes so
+	// a rejected submission is correlatable in logs without headers.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Server is the flow service. Create with New, serve with any
@@ -209,6 +231,7 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *lru
 	queue chan *job
+	log   *slog.Logger // opts.Logger with the node attr pre-bound
 
 	// Crash-safety layer (nil when Options.DataDir is empty): the job
 	// journal and the persistent artifact store.
@@ -292,6 +315,10 @@ func New(opts Options) (*Server, error) {
 		queueWait: &histogram{},
 		stageDur:  newHistogramVec("stage"),
 	}
+	s.log = opts.Logger
+	if opts.Node != "" {
+		s.log = s.log.With("node", opts.Node)
+	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
 	s.mux.HandleFunc("POST /v1/sweeps/granularity", s.handleGranularitySweep)
@@ -299,6 +326,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	// Aliases matching the coordinator's job-shaped routes, so tooling
+	// can poll either daemon role with one URL scheme.
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -451,9 +482,13 @@ func (s *Server) retryIO(op func() error) error {
 	return err
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The request ID is echoed (or
+// minted) on the response before mux dispatch, so every handler —
+// error paths included — already sees it set.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
+	reqID := ensureRequestID(w, r)
+	s.log.Debug("request", "method", r.Method, "path", r.URL.Path, "request_id", reqID)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -548,6 +583,13 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	s.journalTerminal(j, err)
+	if err != nil {
+		s.log.Warn("job failed", "job_id", j.id, "kind", j.kind, "trace_id", j.traceID,
+			"duration", time.Since(execStart).Round(time.Millisecond), "error", err)
+	} else {
+		s.log.Info("job done", "job_id", j.id, "kind", j.kind, "trace_id", j.traceID,
+			"duration", time.Since(execStart).Round(time.Millisecond))
+	}
 	j.complete(res, err)
 	s.retire(j)
 }
@@ -709,6 +751,7 @@ func (s *Server) submit(j *job) (status int, err error) {
 			e := journalEntry{ID: j.id, State: "accepted", Kind: j.kind, Key: j.key, Body: j.body}
 			s.retryIO(func() error { return s.journal.append(e, true) })
 		}
+		s.log.Info("job accepted", "job_id", j.id, "kind", j.kind, "label", j.label, "trace_id", j.traceID)
 		return 0, nil
 	default:
 		s.rejected.Add(1)
@@ -737,7 +780,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, jobResponse{Status: "rejected", Error: err.Error()})
+	writeJSON(w, status, jobResponse{
+		Status: "rejected", Error: err.Error(),
+		RequestID: responseRequestID(w),
+	})
 }
 
 // wantWait reports whether the request asked to block until the job
@@ -754,6 +800,14 @@ func wantWait(r *http.Request) bool {
 // (memory LRU, then the persistent artifact store), in-flight dedupe,
 // enqueue with backpressure, and the synchronous-wait option.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, j *job) {
+	// Thread the coordinator's trace context (if any) into the job and
+	// its tracer before any answer path: cached responses echo the
+	// trace ID too, and the tracer stamps it on the job's Chrome trace
+	// fragment so the merged cluster timeline can claim it.
+	if tid, _ := parseTraceHeader(r); tid != "" {
+		j.traceID = tid
+		j.tracer.SetTraceID(tid)
+	}
 	if v, ok := s.cache.get(j.key); ok {
 		s.cacheHits.Add(1)
 		writeCached(w, j, v)
@@ -857,6 +911,7 @@ func writeCached(w http.ResponseWriter, j *job, v any) {
 	}
 	writeJSON(w, http.StatusOK, jobResponse{
 		Kind: j.kind, Status: "done", Cached: true, Key: j.key, Result: v,
+		TraceID: j.traceID,
 	})
 }
 

@@ -23,6 +23,19 @@ printf '%s\n' "$raw" >&2
   echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
   echo "  \"go\": \"$(go env GOVERSION)\","
+  # Host provenance: a trajectory point is only comparable to points
+  # measured on like hardware, so record where this one came from.
+  echo "  \"host\": {"
+  echo "    \"hostname\": \"$(hostname 2>/dev/null || echo unknown)\","
+  echo "    \"os\": \"$(uname -sr 2>/dev/null || echo unknown)\","
+  echo "    \"arch\": \"$(uname -m 2>/dev/null || echo unknown)\","
+  echo "    \"cpus\": $(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0),"
+  cpu_model=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)
+  if [[ -z "$cpu_model" ]] && command -v sysctl >/dev/null 2>&1; then
+    cpu_model=$(sysctl -n machdep.cpu.brand_string 2>/dev/null || true)
+  fi
+  echo "    \"cpu_model\": \"${cpu_model:-unknown}\""
+  echo "  },"
   echo "  \"benchtime\": \"$benchtime\","
   echo "  \"benchmarks\": ["
   printf '%s\n' "$raw" | awk '
